@@ -1,0 +1,27 @@
+//! Criterion benchmark of the Table I complexity computation (trivially
+//! cheap; kept so `cargo bench` exercises every analytic model) and of the
+//! power model.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hwmodel::{CacheParams, ComplexityTable, PowerModel, RunActivity};
+
+fn bench_models(c: &mut Criterion) {
+    c.bench_function("complexity_table", |b| {
+        b.iter(|| black_box(ComplexityTable::compute(CacheParams::paper_baseline())))
+    });
+    c.bench_function("power_model", |b| {
+        let m = PowerModel::default();
+        let run = RunActivity {
+            cycles: 4_000_000,
+            insts: 4_000_000,
+            num_cores: 2,
+            l2_accesses: 400_000,
+            l2_misses: 40_000,
+            atd_accesses: 12_000,
+        };
+        b.iter(|| black_box(m.energy_per_inst(black_box(&run))))
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion end-to-end benchmarks: a short 2-core CMP simulation under
+//! each paper configuration (simulator throughput, not simulated
+//! performance — the fig* binaries report the latter).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use cmpsim::{MachineConfig, System};
+use plru_core::CpaConfig;
+use tracegen::workload;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut cfg = MachineConfig::paper_baseline(2);
+    cfg.insts_target = 30_000;
+    let wl = workload("2T_02").unwrap(); // mcf + parser: plenty of L2 traffic
+    let mut group = c.benchmark_group("end_to_end_2core");
+    group.sample_size(10);
+
+    for cpa in CpaConfig::figure7_set() {
+        group.bench_function(cpa.acronym(), |b| {
+            b.iter(|| {
+                let mut sys =
+                    System::from_workload(&cfg, &wl, cpa.policy, Some(cpa.clone()), 1);
+                black_box(sys.run())
+            })
+        });
+    }
+    for policy in [cachesim::PolicyKind::Lru, cachesim::PolicyKind::Nru, cachesim::PolicyKind::Bt] {
+        group.bench_function(format!("unpartitioned_{policy:?}"), |b| {
+            b.iter(|| {
+                let mut sys = System::from_workload(&cfg, &wl, policy, None, 1);
+                black_box(sys.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    c.bench_function("tracegen_mcf_100k_records", |b| {
+        b.iter(|| {
+            let mut g = tracegen::TraceGenerator::new(tracegen::benchmark("mcf").unwrap(), 5);
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(g.next_record().addr);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_end_to_end, bench_trace_generation);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion micro-benchmarks of the MinMisses partition selectors (exact
+//! DP vs greedy) for 2, 4 and 8 threads on a 16-way cache — this runs once
+//! per 1M-cycle interval in hardware, so both must be trivially cheap.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use plru_core::{min_misses_dp, min_misses_greedy};
+
+fn curves(n: usize, assoc: usize) -> Vec<Vec<u64>> {
+    (0..n)
+        .map(|t| {
+            (0..=assoc)
+                .map(|w| 1_000_000u64 / (w as u64 + 1 + t as u64 * 3))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let assoc = 16;
+    let mut group = c.benchmark_group("minmisses");
+    for n in [2usize, 4, 8] {
+        let cs = curves(n, assoc);
+        group.bench_function(format!("dp_{n}threads"), |b| {
+            b.iter(|| black_box(min_misses_dp(black_box(&cs), assoc)))
+        });
+        group.bench_function(format!("greedy_{n}threads"), |b| {
+            b.iter(|| black_box(min_misses_greedy(black_box(&cs), assoc)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion micro-benchmarks of the replacement policies: access-update
+//! and victim-selection throughput on the paper's 16-way L2 shape. This is
+//! the software analogue of Table I(b)'s activity comparison — BT touches
+//! the fewest bits and should be the fastest to update.
+
+use cachesim::{Cache, CacheConfig, CacheGeometry, PolicyKind, WayMask};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn geom() -> CacheGeometry {
+    CacheGeometry::new(2 * 1024 * 1024, 16, 128).unwrap()
+}
+
+/// A deterministic pseudo-random address stream.
+fn addresses(n: usize) -> Vec<u64> {
+    let mut acc = 0x1234_5678_9abc_def0u64;
+    (0..n)
+        .map(|_| {
+            acc = acc
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (acc >> 8) & 0xffff_ffff_80u64
+        })
+        .collect()
+}
+
+fn bench_policy_access(c: &mut Criterion) {
+    let addrs = addresses(8192);
+    let mut group = c.benchmark_group("cache_access");
+    for policy in [
+        PolicyKind::Lru,
+        PolicyKind::Nru,
+        PolicyKind::Bt,
+        PolicyKind::Random,
+    ] {
+        group.bench_function(format!("{policy:?}"), |b| {
+            let mut cache = Cache::new(CacheConfig {
+                geometry: geom(),
+                policy,
+                num_cores: 1,
+                seed: 1,
+            });
+            b.iter(|| {
+                for &a in &addrs {
+                    black_box(cache.access(0, a, false));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_masked_access(c: &mut Criterion) {
+    let addrs = addresses(8192);
+    let mut group = c.benchmark_group("cache_access_partitioned");
+    for policy in [PolicyKind::Lru, PolicyKind::Nru, PolicyKind::Bt] {
+        group.bench_function(format!("{policy:?}_masked"), |b| {
+            let mut cache = Cache::new(CacheConfig {
+                geometry: geom(),
+                policy,
+                num_cores: 2,
+                seed: 1,
+            });
+            cache.set_enforcement(cachesim::Enforcement::masks(vec![
+                WayMask::contiguous(0, 10),
+                WayMask::contiguous(10, 6),
+            ]));
+            b.iter(|| {
+                for (i, &a) in addrs.iter().enumerate() {
+                    black_box(cache.access(i & 1, a, false));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policy_access, bench_masked_access);
+criterion_main!(benches);

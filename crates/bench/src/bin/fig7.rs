@@ -1,0 +1,33 @@
+//! Regenerates Figure 7: dynamic cache partitioning with the C-L, M-L,
+//! M-1.0N, M-0.75N, M-0.5N and M-BT configurations on 2-, 4- and 8-core
+//! CMPs, all relative to the C-L baseline.
+
+use plru_bench::table::ratio;
+use plru_bench::{fig7_experiment, Options, TextTable};
+
+fn main() {
+    let opts = Options::from_args();
+    eprintln!("figure 7: {} instructions/thread (use --insts to change)", opts.insts);
+    let (rows, raw) = fig7_experiment(&opts);
+
+    let mut t = TextTable::new(&[
+        "cores",
+        "config",
+        "rel throughput",
+        "rel harmonic mean",
+        "rel weighted speedup",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.cores.to_string(),
+            r.acronym.clone(),
+            ratio(r.rel_throughput),
+            ratio(r.rel_harmonic_mean),
+            ratio(r.rel_weighted_speedup),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("paper reference: M-L within 0.5% of C-L; M-0.75N loses 0.3%/3.6%/7.3%");
+    println!("and M-BT 1.4%/3.4%/9.7% throughput for 2/4/8 cores.");
+    opts.maybe_dump_json(&(rows, raw.len()));
+}

@@ -1,0 +1,18 @@
+//! Regenerates Table I: complexity of the LRU, NRU and BT replacement
+//! schemes (storage bits and per-event activity), for the paper's 2-core
+//! baseline and, as an extension, 4 and 8 cores.
+
+use hwmodel::{CacheParams, ComplexityTable};
+
+fn main() {
+    let mut params = CacheParams::paper_baseline();
+    println!("{}", ComplexityTable::compute(params).render());
+
+    println!("\nNote: the paper prints 52 bits for LRU's \"find LRU in owned lines\";");
+    println!("the formula (A-1) x log2(A) gives 60 — the formula value is shown above.\n");
+
+    for cores in [4usize, 8] {
+        params.num_cores = cores;
+        println!("{}", ComplexityTable::compute(params).render());
+    }
+}

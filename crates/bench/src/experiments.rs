@@ -1,0 +1,346 @@
+//! Experiment drivers shared by the per-figure binaries.
+
+use crate::options::Options;
+use cachesim::PolicyKind;
+use cmpsim::{parallel_map, IsolationCache, MachineConfig, SimResult, System, WorkloadMetrics};
+use cmpsim::metrics::mean;
+use hwmodel::RunActivity;
+use plru_core::CpaConfig;
+use serde::{Deserialize, Serialize};
+use tracegen::{workloads_with_threads, Workload};
+
+/// The machine for an experiment: the paper baseline with the option's
+/// instruction budget and seed.
+pub fn machine(num_cores: usize, opts: &Options) -> MachineConfig {
+    let mut cfg = MachineConfig::paper_baseline(num_cores);
+    cfg.insts_target = opts.insts;
+    cfg.seed = opts.seed;
+    cfg
+}
+
+/// Run a workload on a non-partitioned L2 under `policy`.
+pub fn run_unpartitioned(cfg: &MachineConfig, wl: &Workload, policy: PolicyKind) -> SimResult {
+    System::from_workload(cfg, wl, policy, None, 0).run()
+}
+
+/// Run a workload under a dynamic CPA configuration.
+pub fn run_cpa(cfg: &MachineConfig, wl: &Workload, cpa: &CpaConfig) -> SimResult {
+    System::from_workload(cfg, wl, cpa.policy, Some(cpa.clone()), 0).run()
+}
+
+/// Workload subset for `--quick` smoke runs.
+fn select_workloads(threads: usize, quick: bool) -> Vec<Workload> {
+    let mut w = workloads_with_threads(threads);
+    if quick {
+        w.truncate(4);
+    }
+    w
+}
+
+/// Activity counters of a run, for the power model.
+pub fn activity_of(r: &SimResult, num_cores: usize, insts_per_core: u64) -> RunActivity {
+    RunActivity {
+        cycles: r.total_cycles,
+        insts: insts_per_core * num_cores as u64,
+        num_cores,
+        l2_accesses: r.cores.iter().map(|c| c.l2_accesses).sum(),
+        l2_misses: r.cores.iter().map(|c| c.l2_misses).sum(),
+        atd_accesses: r.atd_observed,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Figure 6: non-partitioned LRU vs NRU vs BT.
+// ---------------------------------------------------------------------
+
+/// One bar of Figure 6: a policy at a core count, relative to LRU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Core count (1, 2, 4 or 8).
+    pub cores: usize,
+    /// Policy acronym (`L`, `N`, `BT`).
+    pub policy: String,
+    /// Mean relative throughput vs LRU.
+    pub rel_throughput: f64,
+    /// Mean relative harmonic mean vs LRU (None for 1 core).
+    pub rel_harmonic_mean: Option<f64>,
+    /// Mean relative weighted speedup vs LRU (None for 1 core).
+    pub rel_weighted_speedup: Option<f64>,
+}
+
+const FIG6_POLICIES: [PolicyKind; 3] = [PolicyKind::Lru, PolicyKind::Nru, PolicyKind::Bt];
+
+/// Run the Figure 6 experiment: all 49 workloads plus the 25 single-thread
+/// runs, three replacement policies, non-partitioned L2.
+pub fn fig6_experiment(opts: &Options) -> Vec<Fig6Row> {
+    let iso = IsolationCache::new();
+    let mut rows = Vec::new();
+
+    // 1 core: throughput is just IPC; metrics vs isolation are trivial.
+    {
+        let cfg = machine(1, opts);
+        let mut names = tracegen::benchmark_names();
+        if opts.quick {
+            names.truncate(4);
+        }
+        // policy -> mean relative IPC vs LRU, per benchmark.
+        let per_policy: Vec<Vec<f64>> = FIG6_POLICIES
+            .iter()
+            .map(|&p| {
+                parallel_map(&names, |name| iso.isolation_ipc(&cfg, name, p))
+            })
+            .collect();
+        for (pi, &policy) in FIG6_POLICIES.iter().enumerate() {
+            let rel: Vec<f64> = per_policy[pi]
+                .iter()
+                .zip(&per_policy[0])
+                .map(|(&x, &l)| x / l)
+                .collect();
+            rows.push(Fig6Row {
+                cores: 1,
+                policy: policy.acronym().to_string(),
+                rel_throughput: mean(&rel),
+                rel_harmonic_mean: None,
+                rel_weighted_speedup: None,
+            });
+        }
+    }
+
+    for threads in [2usize, 4, 8] {
+        let cfg = machine(threads, opts);
+        let wls = select_workloads(threads, opts.quick);
+        // metrics[policy][workload]
+        let metrics: Vec<Vec<WorkloadMetrics>> = FIG6_POLICIES
+            .iter()
+            .map(|&policy| {
+                parallel_map(&wls, |wl| {
+                    let r = run_unpartitioned(&cfg, wl, policy);
+                    let iso_ipcs = iso.isolation_ipcs(&cfg, &wl.benchmarks, policy);
+                    WorkloadMetrics::compute(&r.ipcs(), &iso_ipcs)
+                })
+            })
+            .collect();
+        for (pi, &policy) in FIG6_POLICIES.iter().enumerate() {
+            let rel_thr: Vec<f64> = metrics[pi]
+                .iter()
+                .zip(&metrics[0])
+                .map(|(m, l)| m.throughput / l.throughput)
+                .collect();
+            let rel_hm: Vec<f64> = metrics[pi]
+                .iter()
+                .zip(&metrics[0])
+                .map(|(m, l)| m.harmonic_mean / l.harmonic_mean)
+                .collect();
+            let rel_ws: Vec<f64> = metrics[pi]
+                .iter()
+                .zip(&metrics[0])
+                .map(|(m, l)| m.weighted_speedup / l.weighted_speedup)
+                .collect();
+            rows.push(Fig6Row {
+                cores: threads,
+                policy: policy.acronym().to_string(),
+                rel_throughput: mean(&rel_thr),
+                rel_harmonic_mean: Some(mean(&rel_hm)),
+                rel_weighted_speedup: Some(mean(&rel_ws)),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Figure 7: dynamic CPA configurations relative to C-L.
+// ---------------------------------------------------------------------
+
+/// Raw result of one (workload, configuration) CPA run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConfigRun {
+    /// Configuration acronym.
+    pub acronym: String,
+    /// Workload name.
+    pub workload: String,
+    /// Core count.
+    pub cores: usize,
+    /// Absolute metrics.
+    pub metrics: WorkloadMetrics,
+    /// Full simulation result.
+    pub result: SimResult,
+}
+
+/// One bar group of Figure 7: a configuration at a core count, averaged
+/// over workloads, relative to C-L.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Row {
+    /// Core count.
+    pub cores: usize,
+    /// Configuration acronym.
+    pub acronym: String,
+    /// Mean relative throughput vs C-L.
+    pub rel_throughput: f64,
+    /// Mean relative harmonic mean vs C-L.
+    pub rel_harmonic_mean: f64,
+    /// Mean relative weighted speedup vs C-L.
+    pub rel_weighted_speedup: f64,
+}
+
+/// Run the Figure 7 experiment. Returns the averaged rows plus every raw
+/// run (Figure 9 reuses the raw runs for its power model).
+pub fn fig7_experiment(opts: &Options) -> (Vec<Fig7Row>, Vec<ConfigRun>) {
+    let iso = IsolationCache::new();
+    let configs = CpaConfig::figure7_set();
+    let mut rows = Vec::new();
+    let mut raw = Vec::new();
+
+    for threads in [2usize, 4, 8] {
+        let cfg = machine(threads, opts);
+        let wls = select_workloads(threads, opts.quick);
+        // jobs = (workload, config) cross product.
+        let jobs: Vec<(usize, usize)> = (0..wls.len())
+            .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
+            .collect();
+        let results: Vec<ConfigRun> = parallel_map(&jobs, |&(w, c)| {
+            let wl = &wls[w];
+            let cpa = &configs[c];
+            let r = run_cpa(&cfg, wl, cpa);
+            let iso_ipcs = iso.isolation_ipcs(&cfg, &wl.benchmarks, cpa.policy);
+            ConfigRun {
+                acronym: cpa.acronym(),
+                workload: wl.name.clone(),
+                cores: threads,
+                metrics: WorkloadMetrics::compute(&r.ipcs(), &iso_ipcs),
+                result: r,
+            }
+        });
+
+        for (ci, cpa) in configs.iter().enumerate() {
+            let mut rel_thr = Vec::new();
+            let mut rel_hm = Vec::new();
+            let mut rel_ws = Vec::new();
+            for w in 0..wls.len() {
+                let this = &results[w * configs.len() + ci].metrics;
+                let base = &results[w * configs.len()].metrics; // C-L is index 0
+                rel_thr.push(this.throughput / base.throughput);
+                rel_hm.push(this.harmonic_mean / base.harmonic_mean);
+                rel_ws.push(this.weighted_speedup / base.weighted_speedup);
+            }
+            rows.push(Fig7Row {
+                cores: threads,
+                acronym: cpa.acronym(),
+                rel_throughput: mean(&rel_thr),
+                rel_harmonic_mean: mean(&rel_hm),
+                rel_weighted_speedup: mean(&rel_ws),
+            });
+        }
+        raw.extend(results);
+    }
+    (rows, raw)
+}
+
+// ---------------------------------------------------------------------
+// Figure 8: CPA vs non-partitioned cache across L2 sizes (2 cores).
+// ---------------------------------------------------------------------
+
+/// One bar of Figure 8: a 2-thread workload at an L2 size under one
+/// scheme, relative to the non-partitioned cache of the same policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig8Row {
+    /// Scheme acronym (`M-L`, `M-0.75N`, `M-BT`).
+    pub scheme: String,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// Workload name, or `"AVG"` for the per-size average bar.
+    pub workload: String,
+    /// Throughput relative to the non-partitioned same-policy cache.
+    pub rel_throughput: f64,
+}
+
+/// The three (policy, configuration) pairs of Figure 8(a,b,c).
+pub fn fig8_schemes() -> Vec<CpaConfig> {
+    vec![CpaConfig::m_l(), CpaConfig::m_nru(0.75), CpaConfig::m_bt()]
+}
+
+/// L2 sizes swept by Figure 8.
+pub const FIG8_SIZES: [u64; 3] = [512 * 1024, 1024 * 1024, 2 * 1024 * 1024];
+
+/// Run the Figure 8 experiment.
+pub fn fig8_experiment(opts: &Options) -> Vec<Fig8Row> {
+    let wls = select_workloads(2, opts.quick);
+    let mut rows = Vec::new();
+    for cpa in fig8_schemes() {
+        for &size in &FIG8_SIZES {
+            let cfg = machine(2, opts)
+                .with_l2_size(size)
+                .expect("valid Figure 8 size");
+            let rels: Vec<f64> = parallel_map(&wls, |wl| {
+                let base = run_unpartitioned(&cfg, wl, cpa.policy);
+                let part = run_cpa(&cfg, wl, &cpa);
+                cmpsim::throughput(&part.ipcs()) / cmpsim::throughput(&base.ipcs())
+            });
+            for (wl, &rel) in wls.iter().zip(&rels) {
+                rows.push(Fig8Row {
+                    scheme: cpa.acronym(),
+                    l2_bytes: size,
+                    workload: wl.name.clone(),
+                    rel_throughput: rel,
+                });
+            }
+            rows.push(Fig8Row {
+                scheme: cpa.acronym(),
+                l2_bytes: size,
+                workload: "AVG".to_string(),
+                rel_throughput: mean(&rels),
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts() -> Options {
+        Options {
+            insts: 40_000,
+            quick: true,
+            json: None,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn machine_uses_options() {
+        let o = quick_opts();
+        let m = machine(4, &o);
+        assert_eq!(m.num_cores, 4);
+        assert_eq!(m.insts_target, 40_000);
+        assert_eq!(m.seed, 7);
+    }
+
+    #[test]
+    fn activity_sums_cores() {
+        let o = quick_opts();
+        let cfg = machine(2, &o);
+        let wl = tracegen::workload("2T_21").unwrap();
+        let r = run_unpartitioned(&cfg, &wl, PolicyKind::Lru);
+        let a = activity_of(&r, 2, o.insts);
+        assert_eq!(a.insts, 80_000);
+        assert_eq!(
+            a.l2_accesses,
+            r.cores.iter().map(|c| c.l2_accesses).sum::<u64>()
+        );
+        assert!(a.l2_misses <= a.l2_accesses);
+    }
+
+    #[test]
+    fn quick_subset_is_small() {
+        assert_eq!(select_workloads(2, true).len(), 4);
+        assert_eq!(select_workloads(2, false).len(), 24);
+    }
+
+    #[test]
+    fn fig8_schemes_match_the_paper() {
+        let names: Vec<String> = fig8_schemes().iter().map(|c| c.acronym()).collect();
+        assert_eq!(names, vec!["M-L", "M-0.75N", "M-BT"]);
+    }
+}

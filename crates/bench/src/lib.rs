@@ -1,0 +1,20 @@
+//! # plru-bench — experiment harness
+//!
+//! Shared driver code for the per-figure binaries (`fig6`, `fig7`, `fig8`,
+//! `fig9`, `table1`, `table2`, `ablation`). Each binary regenerates one
+//! table or figure of the paper; pass `--help` for options.
+//!
+//! The harness keeps experiments deterministic (fixed seeds throughout),
+//! fans independent simulations out over hardware threads, and prints
+//! paper-style rows plus optional JSON for downstream processing.
+
+pub mod experiments;
+pub mod options;
+pub mod table;
+
+pub use experiments::{
+    fig6_experiment, fig7_experiment, fig8_experiment, run_cpa, run_unpartitioned, ConfigRun,
+    Fig6Row, Fig7Row, Fig8Row,
+};
+pub use options::Options;
+pub use table::TextTable;

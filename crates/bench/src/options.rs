@@ -1,0 +1,123 @@
+//! Minimal command-line options shared by all experiment binaries.
+
+/// Options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Committed instructions per thread (paper: 100 M; default scaled to
+    /// 1 M for laptop runtimes).
+    pub insts: u64,
+    /// Quick mode: fewer instructions and a workload subset, for smoke
+    /// tests.
+    pub quick: bool,
+    /// Optional path to dump raw results as JSON.
+    pub json: Option<String>,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            insts: 1_000_000,
+            quick: false,
+            json: None,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl Options {
+    /// Parse from `std::env::args`. Exits the process on `--help`.
+    pub fn from_args() -> Options {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Options {
+        let mut o = Options::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--insts" => {
+                    o.insts = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--insts needs a number");
+                }
+                "--seed" => {
+                    o.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs a number");
+                }
+                "--json" => {
+                    o.json = Some(it.next().expect("--json needs a path"));
+                }
+                "--quick" => {
+                    o.quick = true;
+                    o.insts = o.insts.min(300_000);
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options:\n  --insts N   committed instructions per thread (default 1000000)\n  --seed N    base seed (default 0xC0FFEE)\n  --quick     smoke-test mode (fewer instructions, subset of workloads)\n  --json P    dump raw results as JSON to path P"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown option {other} (try --help)"),
+            }
+        }
+        o
+    }
+
+    /// Write results as pretty JSON if `--json` was given.
+    pub fn maybe_dump_json<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = &self.json {
+            let s = serde_json::to_string_pretty(value).expect("serialisable results");
+            std::fs::write(path, s).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Options {
+        Options::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]);
+        assert_eq!(o.insts, 1_000_000);
+        assert!(!o.quick);
+        assert!(o.json.is_none());
+    }
+
+    #[test]
+    fn insts_and_seed() {
+        let o = parse(&["--insts", "5000000", "--seed", "42"]);
+        assert_eq!(o.insts, 5_000_000);
+        assert_eq!(o.seed, 42);
+    }
+
+    #[test]
+    fn quick_caps_insts() {
+        let o = parse(&["--quick"]);
+        assert!(o.quick);
+        assert_eq!(o.insts, 300_000);
+    }
+
+    #[test]
+    fn json_path() {
+        let o = parse(&["--json", "/tmp/out.json"]);
+        assert_eq!(o.json.as_deref(), Some("/tmp/out.json"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_flag_panics() {
+        let _ = parse(&["--frobnicate"]);
+    }
+}

@@ -1,0 +1,487 @@
+//! The composed cache: tags + replacement policy + partition enforcement +
+//! statistics.
+
+use crate::addr::{Addr, LineAddr};
+use crate::enforcement::Enforcement;
+use crate::error::CacheError;
+use crate::geometry::CacheGeometry;
+use crate::mask::WayMask;
+use crate::policy::{PolicyKind, PolicyState};
+use crate::stats::CacheStats;
+
+/// Construction parameters for a [`Cache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Shape of the cache.
+    pub geometry: CacheGeometry,
+    /// Replacement policy.
+    pub policy: PolicyKind,
+    /// Number of cores that may access the cache (1 for private caches).
+    pub num_cores: usize,
+    /// Seed for the random policy (ignored by the others).
+    pub seed: u64,
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Did the access hit?
+    pub hit: bool,
+    /// Set the line maps to.
+    pub set: usize,
+    /// Way the line was found in / filled into.
+    pub way: usize,
+    /// On a miss that evicted a valid line: the evicted line's address and
+    /// previous owner core.
+    pub evicted: Option<(LineAddr, u8)>,
+}
+
+/// A set-associative cache with pluggable replacement and partition
+/// enforcement.
+///
+/// Tag state lives in flat arrays indexed `set * assoc + way`; owner-core
+/// bits and per-set per-core occupancy counters are always maintained (they
+/// are only *consulted* in the `C` enforcement mode, but keeping them live
+/// makes switching enforcement mid-run — as the dynamic CPA controller does
+/// — trivially correct).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geom: CacheGeometry,
+    policy: PolicyState,
+    num_cores: usize,
+    /// Tag of each line; meaningful only where `valid`.
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    /// Core that filled each line (the paper's "owner core bits",
+    /// log2(N) per line).
+    owner: Vec<u8>,
+    /// `owner_count[set * num_cores + core]` = lines of `core` in `set`.
+    owner_count: Vec<u8>,
+    enforcement: Enforcement,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Build an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.policy
+            .validate_assoc(cfg.geometry.assoc())
+            .expect("invalid policy/associativity");
+        assert!(cfg.num_cores >= 1 && cfg.num_cores <= 64);
+        let lines = cfg.geometry.num_sets() * cfg.geometry.assoc();
+        Cache {
+            geom: cfg.geometry,
+            policy: PolicyState::new(
+                cfg.policy,
+                cfg.geometry.num_sets(),
+                cfg.geometry.assoc(),
+                cfg.seed,
+            ),
+            num_cores: cfg.num_cores,
+            tags: vec![0; lines],
+            valid: vec![false; lines],
+            owner: vec![0; lines],
+            owner_count: vec![0; cfg.geometry.num_sets() * cfg.num_cores],
+            enforcement: Enforcement::None,
+            stats: CacheStats::new(cfg.num_cores),
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// The replacement policy kind.
+    pub fn policy_kind(&self) -> PolicyKind {
+        self.policy.kind()
+    }
+
+    /// Access to the raw policy state (used by tests and by the ATD, which
+    /// mirrors policy state).
+    pub fn policy(&self) -> &PolicyState {
+        &self.policy
+    }
+
+    /// Number of cores sharing this cache.
+    pub fn num_cores(&self) -> usize {
+        self.num_cores
+    }
+
+    /// Install a new enforcement configuration (validated).
+    pub fn try_set_enforcement(&mut self, e: Enforcement) -> Result<(), CacheError> {
+        e.validate(self.geom.assoc(), self.num_cores)?;
+        self.enforcement = e;
+        Ok(())
+    }
+
+    /// Install a new enforcement configuration, panicking on invalid input.
+    pub fn set_enforcement(&mut self, e: Enforcement) {
+        self.try_set_enforcement(e).expect("invalid enforcement");
+    }
+
+    /// The active enforcement.
+    pub fn enforcement(&self) -> &Enforcement {
+        &self.enforcement
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Reset statistics only (state kept).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Reset all content, replacement state and statistics.
+    pub fn reset(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+        self.owner_count.iter_mut().for_each(|c| *c = 0);
+        self.policy.reset();
+        self.stats.reset();
+    }
+
+    /// Non-mutating lookup: where is `addr` cached, if anywhere?
+    pub fn probe(&self, addr: Addr) -> Option<(usize, usize)> {
+        let set = self.geom.set_index(addr);
+        let tag = self.geom.tag(addr);
+        self.find(set, tag).map(|way| (set, way))
+    }
+
+    /// Does the cache hold `addr`?
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.probe(addr).is_some()
+    }
+
+    /// Number of valid lines owned by `core` in `set`.
+    pub fn owned_in_set(&self, set: usize, core: usize) -> usize {
+        self.owner_count[set * self.num_cores + core] as usize
+    }
+
+    #[inline]
+    fn find(&self, set: usize, tag: u64) -> Option<usize> {
+        let base = set * self.geom.assoc();
+        (0..self.geom.assoc()).find(|&w| self.valid[base + w] && self.tags[base + w] == tag)
+    }
+
+    /// The NRU saturation scope for `core` (the owned ways under mask-style
+    /// partitioning, the whole set otherwise).
+    #[inline]
+    fn scope_for(&self, core: usize) -> WayMask {
+        self.enforcement
+            .static_mask(core)
+            .unwrap_or_else(|| WayMask::full(self.geom.assoc()))
+    }
+
+    /// The candidate ways `core` may *fill or evict* in `set` on a miss.
+    fn candidate_mask(&self, set: usize, core: usize) -> WayMask {
+        let full = WayMask::full(self.geom.assoc());
+        match &self.enforcement {
+            Enforcement::None => full,
+            Enforcement::Masks(masks) => masks[core],
+            Enforcement::BtVectors { masks, .. } => masks[core],
+            Enforcement::OwnerCounters { quotas } => {
+                // Section II-B.1: under quota -> evict the LRU line among
+                // lines of *other* cores; at/over quota -> among own lines.
+                let mut own = WayMask::EMPTY;
+                let mut others = WayMask::EMPTY;
+                let base = set * self.geom.assoc();
+                for w in 0..self.geom.assoc() {
+                    if !self.valid[base + w] {
+                        continue;
+                    }
+                    if usize::from(self.owner[base + w]) == core {
+                        own = own.or(WayMask::single(w));
+                    } else {
+                        others = others.or(WayMask::single(w));
+                    }
+                }
+                let under_quota = self.owned_in_set(set, core) < quotas[core];
+                if under_quota && !others.is_empty() {
+                    others
+                } else if !own.is_empty() {
+                    own
+                } else {
+                    // Degenerate: no valid line fits the rule (e.g. cold
+                    // set); any way is fair game — invalid-way fill will
+                    // normally take over before this matters.
+                    full
+                }
+            }
+        }
+    }
+
+    /// Access `addr` from `core`. Updates replacement state, ownership and
+    /// statistics; on a miss, fills the line (evicting if needed).
+    pub fn access(&mut self, core: usize, addr: Addr, write: bool) -> AccessOutcome {
+        let set = self.geom.set_index(addr);
+        let tag = self.geom.tag(addr);
+        let scope = self.scope_for(core);
+
+        if let Some(way) = self.find(set, tag) {
+            self.policy.on_access(set, way, scope);
+            self.stats.record(core, true, write);
+            return AccessOutcome {
+                hit: true,
+                set,
+                way,
+                evicted: None,
+            };
+        }
+
+        // Miss: pick a fill way — an invalid candidate way first, then a
+        // policy victim among the candidates.
+        let candidates = self.candidate_mask(set, core);
+        let base = set * self.geom.assoc();
+        let invalid = candidates
+            .iter()
+            .find(|&w| !self.valid[base + w])
+            // In the `C` scheme the candidate mask only covers valid
+            // lines; a cold set must still fill invalid ways.
+            .or_else(|| {
+                if matches!(
+                    self.enforcement,
+                    Enforcement::OwnerCounters { .. } | Enforcement::None
+                ) {
+                    (0..self.geom.assoc()).find(|&w| !self.valid[base + w])
+                } else {
+                    None
+                }
+            });
+
+        let (way, evicted) = match invalid {
+            Some(way) => (way, None),
+            None => {
+                let way = match &self.enforcement {
+                    Enforcement::BtVectors { vectors, .. } => match &mut self.policy {
+                        PolicyState::Bt(bt) => bt.victim_vectors(set, vectors[core]),
+                        _ => self.policy.victim(set, candidates),
+                    },
+                    _ => self.policy.victim(set, candidates),
+                };
+                let old_owner = self.owner[base + way];
+                let old_line = self.geom.line_of(set, self.tags[base + way]);
+                (way, Some((old_line, old_owner)))
+            }
+        };
+
+        // Update ownership bookkeeping.
+        if let Some((_, old_owner)) = evicted {
+            let oc = usize::from(old_owner);
+            self.owner_count[set * self.num_cores + oc] -= 1;
+            if oc != core {
+                self.stats.record_cross_eviction(core);
+            }
+        }
+        self.owner_count[set * self.num_cores + core] += 1;
+        self.tags[base + way] = tag;
+        self.valid[base + way] = true;
+        self.owner[base + way] = core as u8;
+        self.policy.on_access(set, way, scope);
+        self.stats.record(core, false, write);
+
+        AccessOutcome {
+            hit: false,
+            set,
+            way,
+            evicted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(policy: PolicyKind, cores: usize) -> Cache {
+        // 4 sets x 4 ways x 64 B lines = 1 KiB.
+        let geom = CacheGeometry::new(1024, 4, 64).unwrap();
+        Cache::new(CacheConfig {
+            geometry: geom,
+            policy,
+            num_cores: cores,
+            seed: 1,
+        })
+    }
+
+    /// Byte address of the n-th distinct line mapping to `set`.
+    fn addr_in_set(c: &Cache, set: usize, n: u64) -> Addr {
+        let g = c.geometry();
+        ((n << g.index_bits()) | set as u64) << g.offset_bits()
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small(PolicyKind::Lru, 1);
+        let a = addr_in_set(&c, 0, 0);
+        let first = c.access(0, a, false);
+        assert!(!first.hit);
+        let second = c.access(0, a, false);
+        assert!(second.hit);
+        assert_eq!(second.way, first.way);
+        assert_eq!(c.stats().core(0).misses, 1);
+        assert_eq!(c.stats().core(0).hits, 1);
+    }
+
+    #[test]
+    fn fills_prefer_invalid_ways() {
+        let mut c = small(PolicyKind::Lru, 1);
+        for n in 0..4 {
+            let out = c.access(0, addr_in_set(&c, 1, n), false);
+            assert!(out.evicted.is_none(), "fill {n} must not evict");
+        }
+        let out = c.access(0, addr_in_set(&c, 1, 4), false);
+        assert!(out.evicted.is_some(), "5th line must evict");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small(PolicyKind::Lru, 1);
+        for n in 0..4 {
+            c.access(0, addr_in_set(&c, 0, n), false);
+        }
+        // Touch line 0 so line 1 becomes LRU.
+        c.access(0, addr_in_set(&c, 0, 0), false);
+        let out = c.access(0, addr_in_set(&c, 0, 4), false);
+        let (evicted, _) = out.evicted.unwrap();
+        assert_eq!(evicted, c.geometry().line_addr(addr_in_set(&c, 0, 1)));
+    }
+
+    #[test]
+    fn masks_confine_evictions_but_not_hits() {
+        let mut c = small(PolicyKind::Lru, 2);
+        c.set_enforcement(Enforcement::masks(vec![
+            WayMask::contiguous(0, 2),
+            WayMask::contiguous(2, 2),
+        ]));
+        // Core 0 fills its two ways (invalid fills stay in mask).
+        for n in 0..2 {
+            let out = c.access(0, addr_in_set(&c, 0, n), false);
+            assert!(WayMask::contiguous(0, 2).contains(out.way), "fill {n}");
+        }
+        // A third core-0 miss evicts within the mask, not from ways 2..4.
+        let out = c.access(0, addr_in_set(&c, 0, 2), false);
+        assert!(WayMask::contiguous(0, 2).contains(out.way));
+        assert!(out.evicted.is_some());
+        // Core 1 can *hit* in core 0's ways.
+        let out = c.access(1, addr_in_set(&c, 0, 2), false);
+        assert!(out.hit);
+        // But core 1's misses only evict from its own ways.
+        let out = c.access(1, addr_in_set(&c, 0, 10), false);
+        assert!(WayMask::contiguous(2, 2).contains(out.way));
+    }
+
+    #[test]
+    fn owner_counters_under_quota_evicts_other_core() {
+        let mut c = small(PolicyKind::Lru, 2);
+        c.set_enforcement(Enforcement::owner_counters(vec![2, 2]));
+        // Core 0 fills the whole set (allowed: enforcement only guides
+        // victim choice, cold fills take invalid ways).
+        for n in 0..4 {
+            c.access(0, addr_in_set(&c, 0, n), false);
+        }
+        assert_eq!(c.owned_in_set(0, 0), 4);
+        // Core 1 (0 owned < quota 2) must evict one of core 0's lines.
+        let out = c.access(1, addr_in_set(&c, 0, 10), false);
+        let (_, prev_owner) = out.evicted.unwrap();
+        assert_eq!(prev_owner, 0);
+        assert_eq!(c.owned_in_set(0, 1), 1);
+        assert_eq!(c.owned_in_set(0, 0), 3);
+        assert_eq!(c.stats().core(1).cross_evictions, 1);
+    }
+
+    #[test]
+    fn owner_counters_at_quota_evicts_own_lines() {
+        let mut c = small(PolicyKind::Lru, 2);
+        c.set_enforcement(Enforcement::owner_counters(vec![2, 2]));
+        for n in 0..4 {
+            c.access(0, addr_in_set(&c, 0, n), false);
+        }
+        // Core 1 takes two lines (now at quota).
+        c.access(1, addr_in_set(&c, 0, 10), false);
+        c.access(1, addr_in_set(&c, 0, 11), false);
+        assert_eq!(c.owned_in_set(0, 1), 2);
+        // Third core-1 miss must evict core 1's own LRU line.
+        let out = c.access(1, addr_in_set(&c, 0, 12), false);
+        let (_, prev_owner) = out.evicted.unwrap();
+        assert_eq!(prev_owner, 1);
+        assert_eq!(c.owned_in_set(0, 1), 2, "occupancy stays at quota");
+    }
+
+    #[test]
+    fn bt_vectors_enforce_subtrees() {
+        let mut c = small(PolicyKind::Bt, 2);
+        c.set_enforcement(
+            Enforcement::bt_vectors(
+                vec![WayMask::contiguous(0, 2), WayMask::contiguous(2, 2)],
+                4,
+            )
+            .unwrap(),
+        );
+        for n in 0..8 {
+            let out = c.access(0, addr_in_set(&c, 2, n), false);
+            assert!(out.way < 2, "core 0 confined to upper subtree");
+        }
+        for n in 100..108 {
+            let out = c.access(1, addr_in_set(&c, 2, n), false);
+            assert!(out.way >= 2, "core 1 confined to lower subtree");
+        }
+    }
+
+    #[test]
+    fn owner_counts_stay_consistent() {
+        let mut c = small(PolicyKind::Nru, 2);
+        c.set_enforcement(Enforcement::masks(vec![
+            WayMask::contiguous(0, 3),
+            WayMask::contiguous(3, 1),
+        ]));
+        for i in 0..200u64 {
+            let core = (i % 2) as usize;
+            c.access(core, addr_in_set(&c, (i % 4) as usize, i % 9), false);
+            for set in 0..4 {
+                let total: usize = (0..2).map(|k| c.owned_in_set(set, k)).sum();
+                assert!(total <= 4);
+            }
+        }
+    }
+
+    #[test]
+    fn enforcement_validation_rejects_mismatched_cores() {
+        let mut c = small(PolicyKind::Lru, 2);
+        let res = c.try_set_enforcement(Enforcement::masks(vec![WayMask::full(4)]));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn reset_clears_content_and_stats() {
+        let mut c = small(PolicyKind::Lru, 1);
+        let a = addr_in_set(&c, 0, 0);
+        c.access(0, a, true);
+        c.reset();
+        assert!(!c.contains(a));
+        assert_eq!(c.stats().core(0).accesses, 0);
+        assert_eq!(c.owned_in_set(0, 0), 0);
+    }
+
+    #[test]
+    fn probe_does_not_mutate() {
+        let mut c = small(PolicyKind::Lru, 1);
+        let a = addr_in_set(&c, 0, 0);
+        c.access(0, a, false);
+        let stats_before = c.stats().clone();
+        assert!(c.probe(a).is_some());
+        assert!(c.probe(addr_in_set(&c, 0, 1)).is_none());
+        assert_eq!(c.stats(), &stats_before);
+    }
+
+    #[test]
+    fn random_policy_cache_works() {
+        let mut c = small(PolicyKind::Random, 1);
+        for n in 0..32 {
+            c.access(0, addr_in_set(&c, 0, n), false);
+        }
+        assert_eq!(c.stats().core(0).misses, 32);
+    }
+}

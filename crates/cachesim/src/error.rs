@@ -1,0 +1,67 @@
+//! Error type for cache construction and configuration.
+
+use std::fmt;
+
+/// Errors produced when validating cache geometry or partition configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// Cache size, associativity and line size do not describe a whole
+    /// number of power-of-two sets.
+    BadGeometry {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A partition assigns zero ways to a core, assigns ways outside the
+    /// cache, or does not cover every core.
+    BadPartition {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The requested policy does not support the requested associativity
+    /// (e.g. Binary-Tree pseudo-LRU requires a power-of-two associativity).
+    UnsupportedAssociativity {
+        /// The replacement policy that rejected the configuration.
+        policy: &'static str,
+        /// The offending associativity.
+        assoc: usize,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::BadGeometry { reason } => write!(f, "bad cache geometry: {reason}"),
+            CacheError::BadPartition { reason } => write!(f, "bad partition: {reason}"),
+            CacheError::UnsupportedAssociativity { policy, assoc } => {
+                write!(f, "{policy} does not support associativity {assoc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = CacheError::BadGeometry {
+            reason: "line size must be a power of two".into(),
+        };
+        assert!(e.to_string().contains("power of two"));
+        let e = CacheError::UnsupportedAssociativity {
+            policy: "bt",
+            assoc: 12,
+        };
+        assert!(e.to_string().contains("12"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        let a = CacheError::BadPartition { reason: "x".into() };
+        let b = CacheError::BadPartition { reason: "x".into() };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,238 @@
+//! Cache geometry: size / associativity / line-size arithmetic.
+
+use crate::addr::{Addr, LineAddr};
+use crate::error::CacheError;
+use serde::{Deserialize, Serialize};
+
+/// Immutable description of a cache's shape.
+///
+/// The paper's baseline L2 is `CacheGeometry::new(2 MiB, 16, 128)`:
+/// 1024 sets of 16 ways of 128-byte lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    assoc: usize,
+    line_bytes: u32,
+    num_sets: usize,
+    offset_bits: u32,
+    index_bits: u32,
+}
+
+impl CacheGeometry {
+    /// Create a geometry, validating that
+    /// * `line_bytes` is a power of two,
+    /// * `assoc >= 1` and `assoc <= 32` (way masks are 32-bit),
+    /// * the set count is a whole power of two.
+    pub fn new(size_bytes: u64, assoc: usize, line_bytes: u32) -> Result<Self, CacheError> {
+        if !line_bytes.is_power_of_two() || line_bytes == 0 {
+            return Err(CacheError::BadGeometry {
+                reason: format!("line size {line_bytes} must be a power of two"),
+            });
+        }
+        if assoc == 0 || assoc > 32 {
+            return Err(CacheError::BadGeometry {
+                reason: format!("associativity {assoc} must be in 1..=32"),
+            });
+        }
+        let line_bytes64 = u64::from(line_bytes);
+        if !size_bytes.is_multiple_of(line_bytes64 * assoc as u64) {
+            return Err(CacheError::BadGeometry {
+                reason: format!(
+                    "size {size_bytes} is not divisible by line size {line_bytes} x assoc {assoc}"
+                ),
+            });
+        }
+        let num_sets = (size_bytes / line_bytes64 / assoc as u64) as usize;
+        if !num_sets.is_power_of_two() {
+            return Err(CacheError::BadGeometry {
+                reason: format!("set count {num_sets} must be a power of two"),
+            });
+        }
+        Ok(CacheGeometry {
+            size_bytes,
+            assoc,
+            line_bytes,
+            num_sets,
+            offset_bits: line_bytes.trailing_zeros(),
+            index_bits: num_sets.trailing_zeros(),
+        })
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Number of ways per set (`A` in the paper).
+    #[inline]
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Line size in bytes.
+    #[inline]
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// log2(line size): number of intra-line offset bits.
+    #[inline]
+    pub fn offset_bits(&self) -> u32 {
+        self.offset_bits
+    }
+
+    /// log2(number of sets): number of index bits.
+    #[inline]
+    pub fn index_bits(&self) -> u32 {
+        self.index_bits
+    }
+
+    /// Number of tag bits for a given physical address width.
+    ///
+    /// The paper assumes a 64-bit architecture with 47 tag bits for the
+    /// baseline L2 (64 − 10 index − 7 offset = 47).
+    #[inline]
+    pub fn tag_bits(&self, addr_bits: u32) -> u32 {
+        addr_bits.saturating_sub(self.offset_bits + self.index_bits)
+    }
+
+    /// Line address of a byte address.
+    #[inline]
+    pub fn line_addr(&self, addr: Addr) -> LineAddr {
+        LineAddr::from_byte_addr(addr, self.offset_bits)
+    }
+
+    /// Set index of a byte address.
+    #[inline]
+    pub fn set_index(&self, addr: Addr) -> usize {
+        self.set_index_of_line(self.line_addr(addr))
+    }
+
+    /// Set index of a line address.
+    #[inline]
+    pub fn set_index_of_line(&self, line: LineAddr) -> usize {
+        (line.0 & (self.num_sets as u64 - 1)) as usize
+    }
+
+    /// Tag of a byte address (the line address with index bits stripped).
+    #[inline]
+    pub fn tag(&self, addr: Addr) -> u64 {
+        self.tag_of_line(self.line_addr(addr))
+    }
+
+    /// Tag of a line address.
+    #[inline]
+    pub fn tag_of_line(&self, line: LineAddr) -> u64 {
+        line.0 >> self.index_bits
+    }
+
+    /// Reconstruct a line address from a (set, tag) pair. Inverse of
+    /// [`Self::set_index_of_line`] + [`Self::tag_of_line`].
+    #[inline]
+    pub fn line_of(&self, set: usize, tag: u64) -> LineAddr {
+        LineAddr((tag << self.index_bits) | set as u64)
+    }
+
+    /// Geometry of the same cache scaled to a different total size,
+    /// keeping associativity and line size (used by the Figure 8 cache-size
+    /// sweep: 512 KB / 1 MB / 2 MB, always 16-way, 128 B lines).
+    pub fn with_size(&self, size_bytes: u64) -> Result<Self, CacheError> {
+        CacheGeometry::new(size_bytes, self.assoc, self.line_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2() -> CacheGeometry {
+        CacheGeometry::new(2 * 1024 * 1024, 16, 128).unwrap()
+    }
+
+    #[test]
+    fn paper_baseline_l2_has_1024_sets() {
+        let g = l2();
+        assert_eq!(g.num_sets(), 1024);
+        assert_eq!(g.offset_bits(), 7);
+        assert_eq!(g.index_bits(), 10);
+        assert_eq!(g.assoc(), 16);
+    }
+
+    #[test]
+    fn paper_tag_width_is_47_bits() {
+        // Section III: "64-bit architecture with 47 tag bits".
+        assert_eq!(l2().tag_bits(64), 47);
+    }
+
+    #[test]
+    fn set_and_tag_decompose_and_recompose() {
+        let g = l2();
+        let addr: Addr = 0x0000_7fff_dead_be80;
+        let set = g.set_index(addr);
+        let tag = g.tag(addr);
+        assert_eq!(g.line_of(set, tag), g.line_addr(addr));
+    }
+
+    #[test]
+    fn consecutive_lines_map_to_consecutive_sets() {
+        let g = l2();
+        let a0 = g.set_index(0);
+        let a1 = g.set_index(128);
+        assert_eq!((a0 + 1) % g.num_sets(), a1);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_line() {
+        assert!(CacheGeometry::new(1024, 2, 96).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_assoc_and_too_wide_assoc() {
+        assert!(CacheGeometry::new(1024, 0, 64).is_err());
+        assert!(CacheGeometry::new(1 << 20, 64, 64).is_err());
+    }
+
+    #[test]
+    fn rejects_fractional_set_count() {
+        // 3000 bytes / (64 B * 2 ways) is not an integer.
+        assert!(CacheGeometry::new(3000, 2, 64).is_err());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_sets() {
+        // 192 KiB / 128 B / 16 = 96 sets, not a power of two.
+        assert!(CacheGeometry::new(192 * 1024, 16, 128).is_err());
+    }
+
+    #[test]
+    fn with_size_keeps_shape() {
+        let g = l2().with_size(512 * 1024).unwrap();
+        assert_eq!(g.assoc(), 16);
+        assert_eq!(g.line_bytes(), 128);
+        assert_eq!(g.num_sets(), 256);
+    }
+
+    #[test]
+    fn l1_geometries_from_table_ii() {
+        // I$: 64 KB 2-way 128 B; D$: 32 KB 2-way 128 B.
+        let i = CacheGeometry::new(64 * 1024, 2, 128).unwrap();
+        let d = CacheGeometry::new(32 * 1024, 2, 128).unwrap();
+        assert_eq!(i.num_sets(), 256);
+        assert_eq!(d.num_sets(), 128);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let g = l2();
+        let s = serde_json::to_string(&g).unwrap();
+        let back: CacheGeometry = serde_json::from_str(&s).unwrap();
+        assert_eq!(g, back);
+    }
+}

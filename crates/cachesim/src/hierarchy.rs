@@ -1,0 +1,208 @@
+//! Two-level cache hierarchy: private L1 instruction/data caches in front
+//! of one shared L2, as in the paper's baseline CMP (Figure 1).
+//!
+//! The hierarchy is non-inclusive and write-allocate; writebacks are not
+//! modelled (the paper's timing only charges miss penalties, Table II).
+
+use crate::addr::Addr;
+use crate::cache::{Cache, CacheConfig};
+use crate::geometry::CacheGeometry;
+use crate::policy::PolicyKind;
+
+/// Which level serviced an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemLevel {
+    /// Hit in the private L1.
+    L1,
+    /// L1 miss, hit in the shared L2.
+    L2,
+    /// Missed everywhere: went to main memory.
+    Memory,
+}
+
+/// Result of a hierarchy access, including whether the shared L2 was
+/// consulted (the profiling ATDs observe exactly those accesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyOutcome {
+    /// Deepest level that serviced the access.
+    pub level: MemLevel,
+}
+
+/// Per-core pair of private L1 caches.
+#[derive(Debug, Clone)]
+pub struct L1Pair {
+    /// Instruction cache.
+    pub icache: Cache,
+    /// Data cache.
+    pub dcache: Cache,
+}
+
+/// The full memory hierarchy of an N-core CMP.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: Vec<L1Pair>,
+    /// The shared L2 (public so the CPA controller can install
+    /// enforcement and read statistics directly).
+    pub l2: Cache,
+}
+
+impl Hierarchy {
+    /// Build a hierarchy with identical private L1s per core and a shared
+    /// L2. L1s always use true LRU (Table II).
+    pub fn new(
+        num_cores: usize,
+        l1i_geom: CacheGeometry,
+        l1d_geom: CacheGeometry,
+        l2_geom: CacheGeometry,
+        l2_policy: PolicyKind,
+        seed: u64,
+    ) -> Self {
+        let l1 = (0..num_cores)
+            .map(|_| L1Pair {
+                icache: Cache::new(CacheConfig {
+                    geometry: l1i_geom,
+                    policy: PolicyKind::Lru,
+                    num_cores: 1,
+                    seed: 0,
+                }),
+                dcache: Cache::new(CacheConfig {
+                    geometry: l1d_geom,
+                    policy: PolicyKind::Lru,
+                    num_cores: 1,
+                    seed: 0,
+                }),
+            })
+            .collect();
+        let l2 = Cache::new(CacheConfig {
+            geometry: l2_geom,
+            policy: l2_policy,
+            num_cores,
+            seed,
+        });
+        Hierarchy { l1, l2 }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.l1.len()
+    }
+
+    /// The private L1 pair of a core.
+    pub fn l1(&self, core: usize) -> &L1Pair {
+        &self.l1[core]
+    }
+
+    /// Data access from `core`.
+    pub fn access_data(&mut self, core: usize, addr: Addr, write: bool) -> HierarchyOutcome {
+        let l1_out = self.l1[core].dcache.access(0, addr, write);
+        if l1_out.hit {
+            return HierarchyOutcome { level: MemLevel::L1 };
+        }
+        let l2_out = self.l2.access(core, addr, write);
+        HierarchyOutcome {
+            level: if l2_out.hit {
+                MemLevel::L2
+            } else {
+                MemLevel::Memory
+            },
+        }
+    }
+
+    /// Instruction fetch from `core`.
+    pub fn access_inst(&mut self, core: usize, addr: Addr) -> HierarchyOutcome {
+        let l1_out = self.l1[core].icache.access(0, addr, false);
+        if l1_out.hit {
+            return HierarchyOutcome { level: MemLevel::L1 };
+        }
+        let l2_out = self.l2.access(core, addr, false);
+        HierarchyOutcome {
+            level: if l2_out.hit {
+                MemLevel::L2
+            } else {
+                MemLevel::Memory
+            },
+        }
+    }
+
+    /// Reset all caches (content + stats).
+    pub fn reset(&mut self) {
+        for pair in &mut self.l1 {
+            pair.icache.reset();
+            pair.dcache.reset();
+        }
+        self.l2.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hierarchy {
+        let l1 = CacheGeometry::new(512, 2, 64).unwrap(); // 4 sets
+        let l2 = CacheGeometry::new(4096, 4, 64).unwrap(); // 16 sets
+        Hierarchy::new(2, l1, l1, l2, PolicyKind::Lru, 0)
+    }
+
+    #[test]
+    fn first_touch_goes_to_memory() {
+        let mut h = tiny();
+        assert_eq!(h.access_data(0, 0x1000, false).level, MemLevel::Memory);
+    }
+
+    #[test]
+    fn second_touch_hits_l1() {
+        let mut h = tiny();
+        h.access_data(0, 0x1000, false);
+        assert_eq!(h.access_data(0, 0x1000, false).level, MemLevel::L1);
+    }
+
+    #[test]
+    fn l1_victim_still_hits_l2() {
+        let mut h = tiny();
+        // L1 is 2-way, 4 sets: three lines in the same L1 set evict one.
+        let set_stride = 64 * 4;
+        let a0 = 0u64;
+        h.access_data(0, a0, false);
+        h.access_data(0, a0 + set_stride, false);
+        h.access_data(0, a0 + 2 * set_stride, false);
+        // a0 fell out of L1 but is still in the bigger L2.
+        assert_eq!(h.access_data(0, a0, false).level, MemLevel::L2);
+    }
+
+    #[test]
+    fn l1s_are_private_per_core() {
+        let mut h = tiny();
+        h.access_data(0, 0x2000, false);
+        // Core 1's L1 is cold; the line is in shared L2 though.
+        assert_eq!(h.access_data(1, 0x2000, false).level, MemLevel::L2);
+        assert_eq!(h.access_data(1, 0x2000, false).level, MemLevel::L1);
+    }
+
+    #[test]
+    fn instruction_and_data_paths_are_separate() {
+        let mut h = tiny();
+        h.access_inst(0, 0x3000);
+        // Same address through the data path misses L1D (but hits L2).
+        assert_eq!(h.access_data(0, 0x3000, false).level, MemLevel::L2);
+        assert_eq!(h.l1(0).icache.stats().core(0).accesses, 1);
+        assert_eq!(h.l1(0).dcache.stats().core(0).accesses, 1);
+    }
+
+    #[test]
+    fn l2_sees_only_l1_misses() {
+        let mut h = tiny();
+        for _ in 0..10 {
+            h.access_data(0, 0x4000, false);
+        }
+        assert_eq!(h.l2.stats().core(0).accesses, 1, "one L1 miss, one L2 access");
+    }
+
+    #[test]
+    fn reset_restores_cold_hierarchy() {
+        let mut h = tiny();
+        h.access_data(0, 0x1000, false);
+        h.reset();
+        assert_eq!(h.access_data(0, 0x1000, false).level, MemLevel::Memory);
+    }
+}

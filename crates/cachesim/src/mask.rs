@@ -1,0 +1,266 @@
+//! Way masks: the paper's *global replacement masks* (`M` configurations).
+//!
+//! A [`WayMask`] is one core's A-bit vector saying which ways that core may
+//! search for a victim on a miss (Section II-B.2). Hits are always allowed
+//! in any way; masks only constrain *eviction*.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bit mask over the ways of a set. Bit `w` set means way `w` may be
+/// evicted by the mask's owner. Supports associativity up to 32.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WayMask(pub u32);
+
+impl WayMask {
+    /// The empty mask (no way may be evicted). Not legal as an enforcement
+    /// mask — every core must own at least one way — but useful as a fold
+    /// identity.
+    pub const EMPTY: WayMask = WayMask(0);
+
+    /// Mask containing every way of an `assoc`-way cache.
+    #[inline]
+    pub fn full(assoc: usize) -> Self {
+        debug_assert!((1..=32).contains(&assoc));
+        if assoc == 32 {
+            WayMask(u32::MAX)
+        } else {
+            WayMask((1u32 << assoc) - 1)
+        }
+    }
+
+    /// Mask of `count` contiguous ways starting at `start`.
+    #[inline]
+    pub fn contiguous(start: usize, count: usize) -> Self {
+        debug_assert!(start + count <= 32);
+        if count == 0 {
+            return WayMask::EMPTY;
+        }
+        let base = if count == 32 {
+            u32::MAX
+        } else {
+            (1u32 << count) - 1
+        };
+        WayMask(base << start)
+    }
+
+    /// Mask with exactly one way.
+    #[inline]
+    pub fn single(way: usize) -> Self {
+        debug_assert!(way < 32);
+        WayMask(1 << way)
+    }
+
+    /// Does this mask contain `way`?
+    #[inline]
+    pub fn contains(self, way: usize) -> bool {
+        way < 32 && (self.0 >> way) & 1 == 1
+    }
+
+    /// Number of ways in the mask.
+    #[inline]
+    pub fn count(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Is the mask empty?
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Lowest way in the mask, if any.
+    #[inline]
+    pub fn first(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Set-intersection of two masks.
+    #[inline]
+    pub fn and(self, other: WayMask) -> WayMask {
+        WayMask(self.0 & other.0)
+    }
+
+    /// Set-union of two masks.
+    #[inline]
+    pub fn or(self, other: WayMask) -> WayMask {
+        WayMask(self.0 | other.0)
+    }
+
+    /// Ways in `self` but not in `other`.
+    #[inline]
+    pub fn minus(self, other: WayMask) -> WayMask {
+        WayMask(self.0 & !other.0)
+    }
+
+    /// Complement within an `assoc`-way set.
+    #[inline]
+    pub fn complement(self, assoc: usize) -> WayMask {
+        WayMask(!self.0).and(WayMask::full(assoc))
+    }
+
+    /// Is `self` a subset of `other`?
+    #[inline]
+    pub fn is_subset_of(self, other: WayMask) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Iterate over the ways in the mask, ascending.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let w = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w)
+            }
+        })
+    }
+
+    /// True if the mask is a contiguous run of ways.
+    pub fn is_contiguous(self) -> bool {
+        if self.0 == 0 {
+            return true;
+        }
+        let shifted = self.0 >> self.0.trailing_zeros();
+        (shifted & (shifted + 1)) == 0
+    }
+
+    /// True if the mask is an *aligned subtree* of a binary tree over
+    /// `assoc` ways: a contiguous power-of-two-sized run whose start is a
+    /// multiple of its size. These are exactly the partitions the paper's
+    /// BT up/down vectors (Figure 5) can express.
+    pub fn is_aligned_subtree(self, assoc: usize) -> bool {
+        let n = self.count();
+        if n == 0 || !n.is_power_of_two() || !self.is_contiguous() {
+            return false;
+        }
+        let start = self.first().unwrap();
+        start.is_multiple_of(n) && start + n <= assoc
+    }
+}
+
+impl fmt::Display for WayMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+/// Split `assoc` ways into contiguous per-core masks according to a
+/// ways-per-core allocation. `alloc[i]` ways go to core `i`; they must sum
+/// to at most `assoc` and each be at least 1.
+///
+/// Returns `None` if the allocation is infeasible.
+pub fn contiguous_masks(alloc: &[usize], assoc: usize) -> Option<Vec<WayMask>> {
+    let total: usize = alloc.iter().sum();
+    if total > assoc || alloc.contains(&0) {
+        return None;
+    }
+    let mut start = 0usize;
+    let mut masks = Vec::with_capacity(alloc.len());
+    for (i, &w) in alloc.iter().enumerate() {
+        // Give any leftover ways (when the allocation under-fills the
+        // cache) to the last core so the whole cache stays usable.
+        let w = if i == alloc.len() - 1 {
+            w + (assoc - total)
+        } else {
+            w
+        };
+        masks.push(WayMask::contiguous(start, w));
+        start += w;
+    }
+    Some(masks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mask_counts_assoc() {
+        assert_eq!(WayMask::full(16).count(), 16);
+        assert_eq!(WayMask::full(32).count(), 32);
+        assert_eq!(WayMask::full(1).count(), 1);
+    }
+
+    #[test]
+    fn contiguous_masks_cover_without_overlap() {
+        let masks = contiguous_masks(&[10, 6], 16).unwrap();
+        assert_eq!(masks[0].count(), 10);
+        assert_eq!(masks[1].count(), 6);
+        assert_eq!(masks[0].and(masks[1]), WayMask::EMPTY);
+        assert_eq!(masks[0].or(masks[1]), WayMask::full(16));
+    }
+
+    #[test]
+    fn leftover_ways_go_to_last_core() {
+        let masks = contiguous_masks(&[4, 4], 16).unwrap();
+        assert_eq!(masks[1].count(), 12);
+        assert_eq!(masks[0].or(masks[1]), WayMask::full(16));
+    }
+
+    #[test]
+    fn zero_way_allocation_is_rejected() {
+        assert!(contiguous_masks(&[0, 16], 16).is_none());
+    }
+
+    #[test]
+    fn over_allocation_is_rejected() {
+        assert!(contiguous_masks(&[10, 10], 16).is_none());
+    }
+
+    #[test]
+    fn iter_yields_sorted_ways() {
+        let m = WayMask(0b1011_0001);
+        let ways: Vec<_> = m.iter().collect();
+        assert_eq!(ways, vec![0, 4, 5, 7]);
+    }
+
+    #[test]
+    fn contiguity_detection() {
+        assert!(WayMask::contiguous(3, 5).is_contiguous());
+        assert!(WayMask::EMPTY.is_contiguous());
+        assert!(!WayMask(0b101).is_contiguous());
+    }
+
+    #[test]
+    fn aligned_subtree_detection() {
+        // ways 0..8 of a 16-way set: the upper half subtree.
+        assert!(WayMask::contiguous(0, 8).is_aligned_subtree(16));
+        // ways 8..16: the lower half.
+        assert!(WayMask::contiguous(8, 8).is_aligned_subtree(16));
+        // ways 4..8: an aligned quarter.
+        assert!(WayMask::contiguous(4, 4).is_aligned_subtree(16));
+        // ways 2..6: contiguous, power-of-two size, but misaligned.
+        assert!(!WayMask::contiguous(2, 4).is_aligned_subtree(16));
+        // ways 0..10: not a power of two.
+        assert!(!WayMask::contiguous(0, 10).is_aligned_subtree(16));
+    }
+
+    #[test]
+    fn complement_partitions_the_set() {
+        let m = WayMask::contiguous(0, 10);
+        let c = m.complement(16);
+        assert_eq!(c, WayMask::contiguous(10, 6));
+        assert_eq!(m.or(c), WayMask::full(16));
+    }
+
+    #[test]
+    fn subset_relation() {
+        assert!(WayMask::single(3).is_subset_of(WayMask::contiguous(0, 8)));
+        assert!(!WayMask::single(9).is_subset_of(WayMask::contiguous(0, 8)));
+        assert!(WayMask::EMPTY.is_subset_of(WayMask::EMPTY));
+    }
+
+    #[test]
+    fn first_way() {
+        assert_eq!(WayMask(0b100).first(), Some(2));
+        assert_eq!(WayMask::EMPTY.first(), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! True Least-Recently-Used replacement.
+//!
+//! Each line carries a `log2(A)`-bit rank; rank 0 is the MRU line and rank
+//! `A-1` the LRU line (Section II-B: "in a 4-way associativity L2 cache the
+//! MRU position may be represented with bits 00, and the LRU position with
+//! 11"). On an access, every line between the MRU position and the accessed
+//! line's old position increments its rank and the accessed line moves to
+//! rank 0 — exactly the worst-case `A*log2(A)` bit update the paper charges
+//! LRU with in Table I(b).
+
+use crate::mask::WayMask;
+
+/// True-LRU state for a whole cache: one rank per (set, way).
+#[derive(Debug, Clone)]
+pub struct Lru {
+    /// Flattened `num_sets x assoc` rank array; `ranks[set*assoc + way]`.
+    ranks: Vec<u8>,
+    assoc: usize,
+}
+
+impl Lru {
+    /// Fresh state: way `w` starts at rank `w` (way 0 = MRU … way A-1 = LRU),
+    /// a fully-specified cold ordering.
+    pub fn new(num_sets: usize, assoc: usize) -> Self {
+        assert!((1..=32).contains(&assoc));
+        let mut ranks = vec![0u8; num_sets * assoc];
+        for set in 0..num_sets {
+            for way in 0..assoc {
+                ranks[set * assoc + way] = way as u8;
+            }
+        }
+        Lru { ranks, assoc }
+    }
+
+    #[inline]
+    fn base(&self, set: usize) -> usize {
+        set * self.assoc
+    }
+
+    /// 0-based rank of a way (0 = MRU, A-1 = LRU).
+    #[inline]
+    pub fn rank(&self, set: usize, way: usize) -> usize {
+        self.ranks[self.base(set) + way] as usize
+    }
+
+    /// 1-based LRU *stack position* of a way, as reported to the SDH
+    /// (position 1 = MRU … position A = LRU). This is the value the
+    /// profiling logic reads **before** promoting the line.
+    #[inline]
+    pub fn stack_position(&self, set: usize, way: usize) -> usize {
+        self.rank(set, way) + 1
+    }
+
+    /// Promote `way` to MRU; lines between the old position and MRU age by
+    /// one.
+    pub fn on_access(&mut self, set: usize, way: usize) {
+        let base = self.base(set);
+        let old = self.ranks[base + way];
+        for w in 0..self.assoc {
+            let r = &mut self.ranks[base + w];
+            if *r < old {
+                *r += 1;
+            }
+        }
+        self.ranks[base + way] = 0;
+    }
+
+    /// The LRU way among `allowed`: the allowed way with the highest rank.
+    pub fn victim(&self, set: usize, allowed: WayMask) -> usize {
+        let base = self.base(set);
+        let mut best_way = usize::MAX;
+        let mut best_rank = -1i32;
+        for way in allowed.iter() {
+            let r = i32::from(self.ranks[base + way]);
+            if r > best_rank {
+                best_rank = r;
+                best_way = way;
+            }
+        }
+        debug_assert!(best_way != usize::MAX);
+        best_way
+    }
+
+    /// Way currently at a given rank (inverse of [`Self::rank`]).
+    pub fn way_at_rank(&self, set: usize, rank: usize) -> usize {
+        let base = self.base(set);
+        (0..self.assoc)
+            .find(|&w| self.ranks[base + w] as usize == rank)
+            .expect("ranks form a permutation")
+    }
+
+    /// Reset to the cold ordering.
+    pub fn reset(&mut self) {
+        let num_sets = self.ranks.len() / self.assoc;
+        for set in 0..num_sets {
+            for way in 0..self.assoc {
+                self.ranks[set * self.assoc + way] = way as u8;
+            }
+        }
+    }
+
+    /// Associativity this state was built for.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranks_are_permutation(l: &Lru, set: usize) -> bool {
+        let mut seen = vec![false; l.assoc];
+        for w in 0..l.assoc {
+            let r = l.rank(set, w);
+            if r >= l.assoc || seen[r] {
+                return false;
+            }
+            seen[r] = true;
+        }
+        true
+    }
+
+    #[test]
+    fn cold_state_is_identity_permutation() {
+        let l = Lru::new(2, 4);
+        for w in 0..4 {
+            assert_eq!(l.rank(0, w), w);
+        }
+        assert!(ranks_are_permutation(&l, 0));
+    }
+
+    #[test]
+    fn paper_figure_2a_example() {
+        // 4-way set holding {A,B,C,D} = ways {0,1,2,3}, A is MRU, D is LRU.
+        let mut l = Lru::new(1, 4);
+        // Access C then D (the "CDD" pattern of Figure 2).
+        l.on_access(0, 2); // C -> MRU
+        l.on_access(0, 3); // D -> MRU
+        // Now D is MRU, C second, A third, B is LRU.
+        assert_eq!(l.rank(0, 3), 0);
+        assert_eq!(l.rank(0, 2), 1);
+        assert_eq!(l.rank(0, 0), 2);
+        assert_eq!(l.rank(0, 1), 3);
+        // Second access to D: its stack position (distance) is 1.
+        assert_eq!(l.stack_position(0, 3), 1);
+    }
+
+    #[test]
+    fn access_preserves_permutation() {
+        let mut l = Lru::new(1, 8);
+        for &w in &[3, 1, 4, 1, 5, 2, 6, 5, 3, 7, 0, 0, 4] {
+            l.on_access(0, w);
+            assert!(ranks_are_permutation(&l, 0));
+            assert_eq!(l.rank(0, w), 0);
+        }
+    }
+
+    #[test]
+    fn victim_is_lru_of_full_mask() {
+        let mut l = Lru::new(1, 4);
+        l.on_access(0, 0);
+        l.on_access(0, 1);
+        l.on_access(0, 2);
+        l.on_access(0, 3);
+        // Access order 0,1,2,3 -> way 0 is LRU.
+        assert_eq!(l.victim(0, WayMask::full(4)), 0);
+    }
+
+    #[test]
+    fn victim_respects_mask() {
+        let mut l = Lru::new(1, 4);
+        for w in [0, 1, 2, 3] {
+            l.on_access(0, w);
+        }
+        // Way 0 is globally LRU but excluded; among {2,3}, way 2 is older.
+        assert_eq!(l.victim(0, WayMask::contiguous(2, 2)), 2);
+    }
+
+    #[test]
+    fn way_at_rank_inverts_rank() {
+        let mut l = Lru::new(1, 8);
+        for &w in &[5, 2, 7, 2, 1] {
+            l.on_access(0, w);
+        }
+        for r in 0..8 {
+            assert_eq!(l.rank(0, l.way_at_rank(0, r)), r);
+        }
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut l = Lru::new(2, 4);
+        l.on_access(0, 3);
+        assert_eq!(l.rank(0, 3), 0);
+        assert_eq!(l.rank(1, 3), 3, "set 1 must be untouched");
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut l = Lru::new(2, 4);
+        l.on_access(1, 2);
+        l.reset();
+        for w in 0..4 {
+            assert_eq!(l.rank(1, w), w);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Seeded uniform-random replacement.
+//!
+//! Not in the paper's hardware proposals, but the paper repeatedly compares
+//! NRU's behaviour to "a random replacement policy" (Section V-A), so a true
+//! random baseline is useful for calibration and tests.
+
+use crate::mask::WayMask;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-replacement state: just a seeded RNG (no per-line state at all).
+#[derive(Debug, Clone)]
+pub struct RandomRepl {
+    rng: StdRng,
+    seed: u64,
+    assoc: usize,
+}
+
+impl RandomRepl {
+    /// Create with a fixed seed for reproducible experiments.
+    pub fn new(_num_sets: usize, assoc: usize, seed: u64) -> Self {
+        assert!((1..=32).contains(&assoc));
+        RandomRepl {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            assoc,
+        }
+    }
+
+    /// Uniformly random victim among the allowed ways.
+    pub fn victim(&mut self, _set: usize, allowed: WayMask) -> usize {
+        debug_assert!(!allowed.is_empty());
+        let n = allowed.count();
+        let k = self.rng.gen_range(0..n);
+        allowed.iter().nth(k).expect("mask has k-th way")
+    }
+
+    /// Re-seed to the initial state.
+    pub fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    /// Associativity this state was built for.
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victims_stay_in_mask() {
+        let mut r = RandomRepl::new(1, 16, 1);
+        let mask = WayMask::contiguous(5, 6);
+        for _ in 0..500 {
+            assert!(mask.contains(r.victim(0, mask)));
+        }
+    }
+
+    #[test]
+    fn victims_cover_the_mask() {
+        let mut r = RandomRepl::new(1, 8, 2);
+        let mask = WayMask::contiguous(0, 8);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[r.victim(0, mask)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all ways eventually chosen");
+    }
+
+    #[test]
+    fn seeding_makes_it_deterministic() {
+        let mut a = RandomRepl::new(1, 16, 99);
+        let mut b = RandomRepl::new(1, 16, 99);
+        for _ in 0..100 {
+            assert_eq!(
+                a.victim(0, WayMask::full(16)),
+                b.victim(0, WayMask::full(16))
+            );
+        }
+    }
+
+    #[test]
+    fn reset_replays_the_sequence() {
+        let mut r = RandomRepl::new(1, 16, 7);
+        let first: Vec<_> = (0..20).map(|_| r.victim(0, WayMask::full(16))).collect();
+        r.reset();
+        let second: Vec<_> = (0..20).map(|_| r.victim(0, WayMask::full(16))).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn single_way_mask_is_forced() {
+        let mut r = RandomRepl::new(1, 16, 3);
+        assert_eq!(r.victim(0, WayMask::single(11)), 11);
+    }
+}

@@ -1,0 +1,122 @@
+//! Machine configuration (the paper's Table II).
+
+use cachesim::{CacheGeometry, CacheError};
+use serde::{Deserialize, Serialize};
+
+/// Memory-access latencies in cycles (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Latencies {
+    /// Extra cycles when an access misses L1 and hits L2
+    /// ("11 cycles miss penalty" for both L1s).
+    pub l1_miss: u64,
+    /// Extra cycles on an L2 miss, on top of the L1 miss penalty
+    /// ("250 cycles miss penalty").
+    pub l2_miss: u64,
+}
+
+impl Default for Latencies {
+    fn default() -> Self {
+        Latencies {
+            l1_miss: 11,
+            l2_miss: 250,
+        }
+    }
+}
+
+/// Full machine description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Number of cores (= threads; the paper runs 1 thread per core).
+    pub num_cores: usize,
+    /// L1 instruction cache shape (64 KB, 2-way, 128 B).
+    pub l1i: CacheGeometry,
+    /// L1 data cache shape (32 KB, 2-way, 128 B).
+    pub l1d: CacheGeometry,
+    /// Shared L2 shape (2 MB, 16-way, 128 B).
+    pub l2: CacheGeometry,
+    /// Latency parameters.
+    pub latencies: Latencies,
+    /// Committed instructions per thread before its stats freeze (the
+    /// paper uses 100 M; scaled down by default for laptop runtimes).
+    pub insts_target: u64,
+    /// Instructions per L1I fetch-group access: the 8-wide front end
+    /// fetches a 32 B group per cycle, so one 128 B line covers ~32
+    /// sequentially-executed instructions.
+    pub insts_per_fetch_line: u64,
+    /// Base RNG seed; per-core trace seeds derive from it.
+    pub seed: u64,
+}
+
+impl MachineConfig {
+    /// The paper's baseline machine with `num_cores` cores.
+    pub fn paper_baseline(num_cores: usize) -> Self {
+        MachineConfig {
+            num_cores,
+            l1i: CacheGeometry::new(64 * 1024, 2, 128).expect("static geometry"),
+            l1d: CacheGeometry::new(32 * 1024, 2, 128).expect("static geometry"),
+            l2: CacheGeometry::new(2 * 1024 * 1024, 16, 128).expect("static geometry"),
+            latencies: Latencies::default(),
+            insts_target: 2_000_000,
+            insts_per_fetch_line: 32,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Same machine with a different L2 capacity (Figure 8 sweeps 512 KB /
+    /// 1 MB / 2 MB at constant 16 ways and 128 B lines).
+    pub fn with_l2_size(&self, bytes: u64) -> Result<Self, CacheError> {
+        Ok(MachineConfig {
+            l2: self.l2.with_size(bytes)?,
+            ..self.clone()
+        })
+    }
+
+    /// Deterministic trace seed for a core.
+    pub fn trace_seed(&self, core: usize) -> u64 {
+        self.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((core as u64).wrapping_mul(0x5851_F42D_4C95_7F2D))
+            .wrapping_add(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_ii() {
+        let c = MachineConfig::paper_baseline(4);
+        assert_eq!(c.l1i.size_bytes(), 64 * 1024);
+        assert_eq!(c.l1i.assoc(), 2);
+        assert_eq!(c.l1d.size_bytes(), 32 * 1024);
+        assert_eq!(c.l2.size_bytes(), 2 * 1024 * 1024);
+        assert_eq!(c.l2.assoc(), 16);
+        assert_eq!(c.l2.line_bytes(), 128);
+        assert_eq!(c.latencies.l1_miss, 11);
+        assert_eq!(c.latencies.l2_miss, 250);
+    }
+
+    #[test]
+    fn l2_resize_keeps_shape() {
+        let c = MachineConfig::paper_baseline(2);
+        let small = c.with_l2_size(512 * 1024).unwrap();
+        assert_eq!(small.l2.assoc(), 16);
+        assert_eq!(small.l2.num_sets(), 256);
+        assert_eq!(small.l1d, c.l1d);
+    }
+
+    #[test]
+    fn trace_seeds_differ_per_core() {
+        let c = MachineConfig::paper_baseline(8);
+        let seeds: std::collections::HashSet<_> = (0..8).map(|k| c.trace_seed(k)).collect();
+        assert_eq!(seeds.len(), 8);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = MachineConfig::paper_baseline(2);
+        let s = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<MachineConfig>(&s).unwrap(), c);
+    }
+}

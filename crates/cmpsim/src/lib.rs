@@ -1,0 +1,40 @@
+//! # cmpsim — trace-driven CMP timing simulator
+//!
+//! A stand-in for the paper's Turandot/PTCMP simulator. Each core consumes
+//! its benchmark's synthetic trace; timing charges a per-benchmark base CPI
+//! for non-memory work plus blocking miss penalties from Table II
+//! (11 cycles to L2, +250 cycles to memory). Cores advance in
+//! smallest-local-clock-first order, so their L2 accesses interleave in
+//! simulated-time order and contend realistically for the shared,
+//! optionally partitioned L2.
+//!
+//! The dynamic CPA controller from `plru-core` hooks in at two points:
+//! every L2 access is reported to the owning thread's profiler, and at
+//! every interval boundary the controller repartitions the L2.
+//!
+//! ## Example
+//!
+//! ```
+//! use cmpsim::{MachineConfig, System};
+//! use cachesim::PolicyKind;
+//! use tracegen::workload;
+//!
+//! let mut cfg = MachineConfig::paper_baseline(2);
+//! cfg.insts_target = 50_000; // keep the doctest fast
+//! let wl = workload("2T_21").unwrap();
+//! let mut sys = System::from_workload(&cfg, &wl, PolicyKind::Lru, None, 1);
+//! let result = sys.run();
+//! assert!(result.ipc(0) > 0.0);
+//! ```
+
+pub mod config;
+pub mod core_model;
+pub mod metrics;
+pub mod runner;
+pub mod system;
+
+pub use config::{Latencies, MachineConfig};
+pub use core_model::CoreModel;
+pub use metrics::{harmonic_mean_of_relative_ipc, throughput, weighted_speedup, WorkloadMetrics};
+pub use runner::{parallel_map, IsolationCache};
+pub use system::{SimResult, System};

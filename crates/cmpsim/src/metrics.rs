@@ -1,0 +1,161 @@
+//! The paper's three performance metrics (Section IV):
+//!
+//! * **IPC throughput**: `sum_i IPC_i`;
+//! * **weighted speedup** (Snavely & Tullsen): `sum_i IPC_cmp_i / IPC_iso_i`;
+//! * **harmonic mean of relative IPCs** (Luo et al.):
+//!   `N / sum_i (IPC_iso_i / IPC_cmp_i)` — the fairness-sensitive metric.
+
+use serde::{Deserialize, Serialize};
+
+/// Sum of IPCs.
+pub fn throughput(ipcs: &[f64]) -> f64 {
+    ipcs.iter().sum()
+}
+
+/// Weighted speedup against isolation IPCs.
+pub fn weighted_speedup(cmp: &[f64], iso: &[f64]) -> f64 {
+    assert_eq!(cmp.len(), iso.len());
+    cmp.iter()
+        .zip(iso)
+        .map(|(&c, &i)| {
+            assert!(i > 0.0, "isolation IPC must be positive");
+            c / i
+        })
+        .sum()
+}
+
+/// Harmonic mean of relative IPCs.
+pub fn harmonic_mean_of_relative_ipc(cmp: &[f64], iso: &[f64]) -> f64 {
+    assert_eq!(cmp.len(), iso.len());
+    let denom: f64 = cmp
+        .iter()
+        .zip(iso)
+        .map(|(&c, &i)| {
+            assert!(c > 0.0, "CMP IPC must be positive");
+            i / c
+        })
+        .sum();
+    cmp.len() as f64 / denom
+}
+
+/// The three metrics of one workload under one configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMetrics {
+    /// IPC throughput.
+    pub throughput: f64,
+    /// Weighted speedup.
+    pub weighted_speedup: f64,
+    /// Harmonic mean of relative IPCs.
+    pub harmonic_mean: f64,
+}
+
+impl WorkloadMetrics {
+    /// Compute all three from CMP and isolation IPC vectors.
+    pub fn compute(cmp: &[f64], iso: &[f64]) -> Self {
+        WorkloadMetrics {
+            throughput: throughput(cmp),
+            weighted_speedup: weighted_speedup(cmp, iso),
+            harmonic_mean: harmonic_mean_of_relative_ipc(cmp, iso),
+        }
+    }
+
+    /// Element-wise ratio against a baseline (the "relative to C-L" values
+    /// every figure reports).
+    pub fn relative_to(&self, base: &WorkloadMetrics) -> WorkloadMetrics {
+        WorkloadMetrics {
+            throughput: self.throughput / base.throughput,
+            weighted_speedup: self.weighted_speedup / base.weighted_speedup,
+            harmonic_mean: self.harmonic_mean / base.harmonic_mean,
+        }
+    }
+}
+
+/// Geometric mean of a slice (used to average relative metrics across
+/// workloads, as is standard for ratio data).
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0);
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_is_the_sum() {
+        assert!((throughput(&[1.0, 0.5, 0.25]) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_of_isolation_equals_n() {
+        let iso = [1.2, 0.7, 2.0];
+        assert!((weighted_speedup(&iso, &iso) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hmean_of_isolation_equals_one() {
+        let iso = [1.2, 0.7];
+        assert!((harmonic_mean_of_relative_ipc(&iso, &iso) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hmean_punishes_imbalance_more_than_ws() {
+        let iso = [1.0, 1.0];
+        let balanced = [0.5, 0.5];
+        let skewed = [0.9, 0.1];
+        // Same weighted speedup...
+        assert!(
+            (weighted_speedup(&balanced, &iso) - weighted_speedup(&skewed, &iso)).abs() < 1e-12
+        );
+        // ...but the harmonic mean prefers the balanced outcome.
+        assert!(
+            harmonic_mean_of_relative_ipc(&balanced, &iso)
+                > harmonic_mean_of_relative_ipc(&skewed, &iso)
+        );
+    }
+
+    #[test]
+    fn metrics_relative_to_self_is_one() {
+        let m = WorkloadMetrics::compute(&[0.8, 0.9], &[1.0, 1.1]);
+        let r = m.relative_to(&m);
+        assert!((r.throughput - 1.0).abs() < 1e-12);
+        assert!((r.weighted_speedup - 1.0).abs() < 1e-12);
+        assert!((r.harmonic_mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geo_mean_of_reciprocals_cancels() {
+        let g = geo_mean(&[2.0, 0.5]);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_basic() {
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn weighted_speedup_rejects_zero_isolation() {
+        let _ = weighted_speedup(&[1.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = weighted_speedup(&[1.0, 2.0], &[1.0]);
+    }
+}

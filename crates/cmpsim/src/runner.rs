@@ -1,0 +1,190 @@
+//! Experiment-fleet helpers: a scoped-thread parallel map and a shared
+//! cache of isolation IPCs.
+//!
+//! Every figure needs dozens-to-hundreds of independent simulations; the
+//! runner fans them out across hardware threads with crossbeam scoped
+//! threads (no `'static` bound on the work items) and memoises the
+//! expensive isolation runs every relative metric divides by.
+
+use crate::config::MachineConfig;
+use crate::system::System;
+use cachesim::PolicyKind;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Parallel map over `items`, preserving order. Work is distributed by an
+/// atomic cursor so uneven item costs (8-thread runs take 4x the work of
+/// 2-thread runs) still balance.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock() = Some(r);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("every item processed"))
+        .collect()
+}
+
+/// Key of one isolation run: benchmark, L2 policy, L2 size, instruction
+/// target and core index salt are what change the resulting IPC.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct IsoKey {
+    benchmark: String,
+    policy: PolicyKind,
+    l2_bytes: u64,
+    insts: u64,
+}
+
+/// Thread-safe memo of isolation IPCs (`IPC_isolation_i` in the metric
+/// definitions): each benchmark running alone with the full L2 under a
+/// given replacement policy.
+#[derive(Debug, Default)]
+pub struct IsolationCache {
+    map: Mutex<HashMap<IsoKey, f64>>,
+}
+
+impl IsolationCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// IPC of `benchmark` running alone on a single-core machine derived
+    /// from `cfg` (same caches, same latencies, full L2, no partitioning).
+    pub fn isolation_ipc(&self, cfg: &MachineConfig, benchmark: &str, policy: PolicyKind) -> f64 {
+        let key = IsoKey {
+            benchmark: benchmark.to_string(),
+            policy,
+            l2_bytes: cfg.l2.size_bytes(),
+            insts: cfg.insts_target,
+        };
+        if let Some(&ipc) = self.map.lock().get(&key) {
+            return ipc;
+        }
+        let mut solo = cfg.clone();
+        solo.num_cores = 1;
+        let profile =
+            tracegen::benchmark(benchmark).unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+        let mut sys = System::from_profiles(&solo, &[profile], policy, None, 0);
+        let ipc = sys.run().ipc(0);
+        self.map.lock().insert(key, ipc);
+        ipc
+    }
+
+    /// Isolation IPCs for every benchmark of a workload, in thread order.
+    pub fn isolation_ipcs(
+        &self,
+        cfg: &MachineConfig,
+        benchmarks: &[String],
+        policy: PolicyKind,
+    ) -> Vec<f64> {
+        benchmarks
+            .iter()
+            .map(|b| self.isolation_ipc(cfg, b, policy))
+            .collect()
+    }
+
+    /// Number of memoised entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map(&items, |&x| x * x);
+        for (i, &r) in out.iter().enumerate() {
+            assert_eq!(r, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_input() {
+        let items: Vec<u64> = vec![];
+        let out: Vec<u64> = parallel_map(&items, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_with_uneven_costs() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = parallel_map(&items, |&x| {
+            // Simulate uneven work.
+            let mut acc = 0u64;
+            for i in 0..(x * 1000) {
+                acc = acc.wrapping_add(i);
+            }
+            acc.wrapping_add(x)
+        });
+        assert_eq!(out.len(), 32);
+    }
+
+    #[test]
+    fn isolation_cache_memoises() {
+        let mut cfg = MachineConfig::paper_baseline(1);
+        cfg.insts_target = 30_000;
+        let cache = IsolationCache::new();
+        let a = cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru);
+        assert_eq!(cache.len(), 1);
+        let b = cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru);
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1, "second call was memoised");
+    }
+
+    #[test]
+    fn isolation_distinguishes_policies_and_sizes() {
+        let mut cfg = MachineConfig::paper_baseline(1);
+        cfg.insts_target = 30_000;
+        let cache = IsolationCache::new();
+        cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru);
+        cache.isolation_ipc(&cfg, "gzip", PolicyKind::Nru);
+        let small = cfg.with_l2_size(512 * 1024).unwrap();
+        cache.isolation_ipc(&small, "gzip", PolicyKind::Lru);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn isolation_ipcs_vector_matches_singles() {
+        let mut cfg = MachineConfig::paper_baseline(1);
+        cfg.insts_target = 20_000;
+        let cache = IsolationCache::new();
+        let names = vec!["gzip".to_string(), "eon".to_string()];
+        let v = cache.isolation_ipcs(&cfg, &names, PolicyKind::Lru);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru));
+    }
+}

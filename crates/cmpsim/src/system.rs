@@ -1,0 +1,372 @@
+//! The full CMP system: cores + hierarchy + optional dynamic CPA.
+
+use crate::config::MachineConfig;
+use crate::core_model::CoreModel;
+use cachesim::hierarchy::{Hierarchy, MemLevel};
+use cachesim::{CacheStats, PolicyKind};
+use plru_core::{CpaConfig, CpaController};
+use serde::{Deserialize, Serialize};
+use tracegen::{BenchmarkProfile, Workload};
+
+/// Per-core outcome of a simulation.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CoreResult {
+    /// Committed-instruction target the IPC is measured over.
+    pub insts: u64,
+    /// Local cycle count when the target was reached.
+    pub cycles: u64,
+    /// Instructions per cycle at the freeze point.
+    pub ipc: f64,
+    /// This core's L2 accesses at its freeze point.
+    pub l2_accesses: u64,
+    /// This core's L2 misses at its freeze point.
+    pub l2_misses: u64,
+    /// L1D misses at the freeze point.
+    pub l1d_misses: u64,
+    /// L1I misses at the freeze point.
+    pub l1i_misses: u64,
+}
+
+/// Outcome of one full simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Per-core results in core order.
+    pub cores: Vec<CoreResult>,
+    /// Wall-clock of the run: the last core's freeze cycle.
+    pub total_cycles: u64,
+    /// Repartition intervals executed (0 without a CPA).
+    pub intervals: u64,
+    /// Total ATD probes across threads (0 without a CPA).
+    pub atd_observed: u64,
+    /// Final ways-per-thread allocation (empty without a CPA).
+    pub final_allocation: Vec<usize>,
+    /// Full-run shared-L2 statistics (keeps accumulating after freezes;
+    /// per-core freeze-point numbers are in `cores`).
+    pub l2_stats: CacheStats,
+}
+
+impl SimResult {
+    /// IPC of one core.
+    pub fn ipc(&self, core: usize) -> f64 {
+        self.cores[core].ipc
+    }
+
+    /// All IPCs in core order.
+    pub fn ipcs(&self) -> Vec<f64> {
+        self.cores.iter().map(|c| c.ipc).collect()
+    }
+}
+
+/// A runnable CMP system.
+pub struct System {
+    cfg: MachineConfig,
+    hierarchy: Hierarchy,
+    cores: Vec<CoreModel>,
+    controller: Option<CpaController>,
+    next_interval: u64,
+    intervals: u64,
+    /// Per-core L2 miss counts at the previous interval boundary (the
+    /// controller's adaptive-scale feedback).
+    last_misses: Vec<u64>,
+}
+
+impl System {
+    /// Build a system running one benchmark per core.
+    ///
+    /// `seed_salt` perturbs the per-core trace seeds so repeated instances
+    /// of the same benchmark (e.g. facerec twice in `8T_04`) diverge.
+    pub fn from_profiles(
+        cfg: &MachineConfig,
+        profiles: &[BenchmarkProfile],
+        l2_policy: PolicyKind,
+        cpa: Option<CpaConfig>,
+        seed_salt: u64,
+    ) -> Self {
+        assert_eq!(profiles.len(), cfg.num_cores, "one benchmark per core");
+        let mut hierarchy = Hierarchy::new(
+            cfg.num_cores,
+            cfg.l1i,
+            cfg.l1d,
+            cfg.l2,
+            l2_policy,
+            cfg.seed ^ seed_salt,
+        );
+        let controller = cpa.map(|c| {
+            assert_eq!(
+                c.policy, l2_policy,
+                "the paper always pairs the profiling policy with the L2 policy"
+            );
+            let ctl = CpaController::new(c, cfg.l2, cfg.num_cores);
+            hierarchy.l2.set_enforcement(ctl.initial_enforcement());
+            ctl
+        });
+        let cores = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                CoreModel::new(
+                    i,
+                    p.clone(),
+                    cfg.trace_seed(i) ^ seed_salt.rotate_left(i as u32),
+                    cfg.insts_per_fetch_line,
+                )
+            })
+            .collect();
+        let next_interval = controller
+            .as_ref()
+            .map(|c| c.interval_cycles())
+            .unwrap_or(u64::MAX);
+        System {
+            last_misses: vec![0; cfg.num_cores],
+            cfg: cfg.clone(),
+            hierarchy,
+            cores,
+            controller,
+            next_interval,
+            intervals: 0,
+        }
+    }
+
+    /// Build from a Table II workload.
+    pub fn from_workload(
+        cfg: &MachineConfig,
+        workload: &Workload,
+        l2_policy: PolicyKind,
+        cpa: Option<CpaConfig>,
+        seed_salt: u64,
+    ) -> Self {
+        Self::from_profiles(cfg, &workload.profiles(), l2_policy, cpa, seed_salt)
+    }
+
+    fn penalty(&self, level: MemLevel) -> u64 {
+        match level {
+            MemLevel::L1 => 0,
+            MemLevel::L2 => self.cfg.latencies.l1_miss,
+            MemLevel::Memory => self.cfg.latencies.l1_miss + self.cfg.latencies.l2_miss,
+        }
+    }
+
+    /// Run to completion: every core commits `insts_target` instructions;
+    /// finished cores keep executing (keeping contention realistic) until
+    /// the last core freezes.
+    pub fn run(&mut self) -> SimResult {
+        let target = self.cfg.insts_target;
+        let n = self.cores.len();
+        let mut frozen: Vec<Option<CoreResult>> = vec![None; n];
+        let mut done = 0usize;
+
+        while done < n {
+            // Advance the core with the smallest local clock: simulated
+            // time order, so L2 interleaving is realistic.
+            let c = (0..n)
+                .min_by_key(|&i| self.cores[i].cycle)
+                .expect("at least one core");
+            let now = self.cores[c].cycle;
+
+            // Interval boundary?
+            if now >= self.next_interval {
+                if let Some(ctl) = &mut self.controller {
+                    let misses: Vec<u64> = (0..n)
+                        .map(|i| {
+                            let total = self.hierarchy.l2.stats().core(i).misses;
+                            let delta = total - self.last_misses[i];
+                            self.last_misses[i] = total;
+                            delta
+                        })
+                        .collect();
+                    let enforcement = ctl.on_interval_with_feedback(Some(&misses));
+                    self.hierarchy.l2.set_enforcement(enforcement);
+                    self.intervals += 1;
+                    self.next_interval += ctl.interval_cycles();
+                }
+            }
+
+            let rec = self.cores[c].next_record();
+            let insts = rec.instructions();
+            let mut latency = self.cores[c].charge_base(insts);
+
+            // Instruction fetches.
+            for addr in self.cores[c].fetch_addrs(insts) {
+                let out = self.hierarchy.access_inst(c, addr);
+                latency += self.penalty(out.level);
+                if out.level != MemLevel::L1 {
+                    if let Some(ctl) = &mut self.controller {
+                        ctl.observe(c, addr);
+                    }
+                }
+            }
+
+            // The data access.
+            let out = self.hierarchy.access_data(c, rec.addr, rec.is_write);
+            latency += self.penalty(out.level);
+            if out.level != MemLevel::L1 {
+                if let Some(ctl) = &mut self.controller {
+                    ctl.observe(c, rec.addr);
+                }
+            }
+
+            let core = &mut self.cores[c];
+            core.cycle += latency;
+            core.insts += insts;
+            if !core.finished() {
+                core.maybe_finish(target);
+                if core.finished() {
+                    let l2 = self.hierarchy.l2.stats().core(c);
+                    frozen[c] = Some(CoreResult {
+                        insts: target,
+                        cycles: core.finish_cycle.expect("just finished"),
+                        ipc: core.ipc(target),
+                        l2_accesses: l2.accesses,
+                        l2_misses: l2.misses,
+                        l1d_misses: self.hierarchy.l1(c).dcache.stats().core(0).misses,
+                        l1i_misses: self.hierarchy.l1(c).icache.stats().core(0).misses,
+                    });
+                    done += 1;
+                }
+            }
+        }
+
+        let cores: Vec<CoreResult> = frozen.into_iter().map(|c| c.expect("all frozen")).collect();
+        SimResult {
+            total_cycles: cores.iter().map(|c| c.cycles).max().unwrap_or(0),
+            intervals: self.intervals,
+            atd_observed: self
+                .controller
+                .as_ref()
+                .map(|c| c.total_observed())
+                .unwrap_or(0),
+            final_allocation: self
+                .controller
+                .as_ref()
+                .map(|c| c.allocation().to_vec())
+                .unwrap_or_default(),
+            l2_stats: self.hierarchy.l2.stats().clone(),
+            cores,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The CPA controller, if any.
+    pub fn controller(&self) -> Option<&CpaController> {
+        self.controller.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tracegen::workload;
+
+    fn quick_cfg(cores: usize) -> MachineConfig {
+        let mut cfg = MachineConfig::paper_baseline(cores);
+        cfg.insts_target = 60_000;
+        cfg
+    }
+
+    #[test]
+    fn single_core_run_produces_sane_ipc() {
+        let cfg = quick_cfg(1);
+        let profiles = vec![tracegen::benchmark("gzip").unwrap()];
+        let mut sys = System::from_profiles(&cfg, &profiles, PolicyKind::Lru, None, 1);
+        let r = sys.run();
+        assert_eq!(r.cores.len(), 1);
+        let ipc = r.ipc(0);
+        assert!(ipc > 0.05 && ipc < 8.0, "implausible IPC {ipc}");
+        assert!(r.cores[0].l2_accesses > 0);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = quick_cfg(2);
+        let wl = workload("2T_01").unwrap();
+        let run = || {
+            let mut s = System::from_workload(&cfg, &wl, PolicyKind::Nru, None, 7);
+            s.run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.ipcs(), b.ipcs());
+        assert_eq!(a.total_cycles, b.total_cycles);
+    }
+
+    #[test]
+    fn memory_bound_thread_is_slower_than_cache_friendly() {
+        let cfg = quick_cfg(2);
+        let profiles = vec![
+            tracegen::benchmark("mcf").unwrap(),
+            tracegen::benchmark("crafty").unwrap(),
+        ];
+        let mut sys = System::from_profiles(&cfg, &profiles, PolicyKind::Lru, None, 3);
+        let r = sys.run();
+        assert!(
+            r.ipc(0) < r.ipc(1),
+            "mcf ({}) must be slower than crafty ({})",
+            r.ipc(0),
+            r.ipc(1)
+        );
+    }
+
+    #[test]
+    fn cpa_controller_repartitions() {
+        let mut cfg = quick_cfg(2);
+        cfg.insts_target = 150_000;
+        let mut cpa = CpaConfig::m_l();
+        cpa.interval_cycles = 50_000; // several intervals in a short run
+        let wl = workload("2T_02").unwrap(); // mcf + parser
+        let mut sys = System::from_workload(&cfg, &wl, PolicyKind::Lru, Some(cpa), 5);
+        let r = sys.run();
+        assert!(r.intervals >= 2, "expected repartitions, got {}", r.intervals);
+        assert_eq!(r.final_allocation.iter().sum::<usize>(), 16);
+        assert!(r.atd_observed > 0, "ATDs must observe sampled accesses");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_cpa_policy_panics() {
+        let cfg = quick_cfg(2);
+        let wl = workload("2T_01").unwrap();
+        // NRU profiler on an LRU L2 — the paper never mixes them.
+        let _ = System::from_workload(&cfg, &wl, PolicyKind::Lru, Some(CpaConfig::m_nru(0.75)), 1);
+    }
+
+    #[test]
+    fn eight_core_workload_runs() {
+        let mut cfg = quick_cfg(8);
+        cfg.insts_target = 20_000;
+        let wl = workload("8T_01").unwrap();
+        let mut sys = System::from_workload(&cfg, &wl, PolicyKind::Bt, None, 2);
+        let r = sys.run();
+        assert_eq!(r.cores.len(), 8);
+        assert!(r.ipcs().iter().all(|&i| i > 0.0));
+    }
+
+    #[test]
+    fn partitioning_protects_the_friendly_thread() {
+        // crafty next to streaming swim: with a partitioned L2 crafty's
+        // miss count must not exceed its unpartitioned miss count (the
+        // stream cannot wash its ways).
+        let mut cfg = quick_cfg(2);
+        cfg.insts_target = 200_000;
+        let profiles = vec![
+            tracegen::benchmark("crafty").unwrap(),
+            tracegen::benchmark("swim").unwrap(),
+        ];
+        let mut free = System::from_profiles(&cfg, &profiles, PolicyKind::Lru, None, 9);
+        let rf = free.run();
+        let mut cpa = CpaConfig::m_l();
+        cpa.interval_cycles = 100_000;
+        let mut part = System::from_profiles(&cfg, &profiles, PolicyKind::Lru, Some(cpa), 9);
+        let rp = part.run();
+        let miss_rate = |r: &SimResult| r.cores[0].l2_misses as f64 / r.cores[0].l2_accesses as f64;
+        assert!(
+            miss_rate(&rp) <= miss_rate(&rf) * 1.1,
+            "partitioning must roughly protect crafty: {} vs {}",
+            miss_rate(&rp),
+            miss_rate(&rf)
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Auxiliary Tag Directory (ATD) tag storage with set sampling.
+//!
+//! Each thread owns an ATD: a copy of the L2 tag directory that only that
+//! thread accesses, so it behaves as if the thread ran alone with the full
+//! cache (Section II-A). To keep the area cost down the paper samples **1
+//! of every 32 sets** (Section III): an L2 access only probes the ATD when
+//! its set is sampled.
+//!
+//! This module provides the shared tag bookkeeping; the per-policy
+//! replacement metadata (LRU ranks / NRU used bits / BT tree bits) lives in
+//! the matching [`crate::profiler`] implementation.
+
+use cachesim::{Addr, CacheGeometry};
+
+/// Tag storage of one sampled ATD.
+#[derive(Debug, Clone)]
+pub struct AtdTags {
+    geom: CacheGeometry,
+    sample_ratio: usize,
+    sampled_sets: usize,
+    /// `tags[atd_set * assoc + way]`.
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+}
+
+impl AtdTags {
+    /// Build an ATD for a cache of shape `geom`, sampling one in
+    /// `sample_ratio` sets (`sample_ratio = 1` = full ATD).
+    pub fn new(geom: CacheGeometry, sample_ratio: usize) -> Self {
+        assert!(sample_ratio >= 1);
+        assert!(
+            geom.num_sets() >= sample_ratio,
+            "need at least one sampled set"
+        );
+        let sampled_sets = geom.num_sets() / sample_ratio;
+        AtdTags {
+            geom,
+            sample_ratio,
+            sampled_sets,
+            tags: vec![0; sampled_sets * geom.assoc()],
+            valid: vec![false; sampled_sets * geom.assoc()],
+        }
+    }
+
+    /// The L2 geometry this ATD mirrors.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
+    }
+
+    /// One in how many sets is sampled.
+    pub fn sample_ratio(&self) -> usize {
+        self.sample_ratio
+    }
+
+    /// Number of sets actually present in the ATD.
+    pub fn sampled_sets(&self) -> usize {
+        self.sampled_sets
+    }
+
+    /// If `addr`'s set is sampled, its ATD-local set index.
+    #[inline]
+    pub fn sampled_set(&self, addr: Addr) -> Option<usize> {
+        let set = self.geom.set_index(addr);
+        if set.is_multiple_of(self.sample_ratio) {
+            Some(set / self.sample_ratio)
+        } else {
+            None
+        }
+    }
+
+    /// Tag of an address (same tag function as the L2).
+    #[inline]
+    pub fn tag(&self, addr: Addr) -> u64 {
+        self.geom.tag(addr)
+    }
+
+    /// Find the way holding `tag` in ATD set `atd_set`.
+    #[inline]
+    pub fn lookup(&self, atd_set: usize, tag: u64) -> Option<usize> {
+        let base = atd_set * self.geom.assoc();
+        (0..self.geom.assoc()).find(|&w| self.valid[base + w] && self.tags[base + w] == tag)
+    }
+
+    /// First invalid way of a set, if any.
+    #[inline]
+    pub fn invalid_way(&self, atd_set: usize) -> Option<usize> {
+        let base = atd_set * self.geom.assoc();
+        (0..self.geom.assoc()).find(|&w| !self.valid[base + w])
+    }
+
+    /// Install `tag` into `(atd_set, way)`.
+    #[inline]
+    pub fn fill(&mut self, atd_set: usize, way: usize, tag: u64) {
+        let idx = atd_set * self.geom.assoc() + way;
+        self.tags[idx] = tag;
+        self.valid[idx] = true;
+    }
+
+    /// ATD storage cost in bytes for a given address width: sampled sets x
+    /// assoc x tag bits, rounded up to whole bytes (the paper quotes
+    /// 3.25 KB per core for 1024/32 = 32 sets x 16 ways x 47 + valid bits).
+    pub fn storage_bytes(&self, addr_bits: u32) -> u64 {
+        let tag_bits = u64::from(self.geom.tag_bits(addr_bits));
+        let lines = (self.sampled_sets * self.geom.assoc()) as u64;
+        // +1 for the valid bit.
+        (lines * (tag_bits + 1)).div_ceil(8)
+    }
+
+    /// Invalidate everything.
+    pub fn reset(&mut self) {
+        self.valid.iter_mut().for_each(|v| *v = false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l2_geom() -> CacheGeometry {
+        CacheGeometry::new(2 * 1024 * 1024, 16, 128).unwrap()
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_thirty_two_sets() {
+        let atd = AtdTags::new(l2_geom(), 32);
+        assert_eq!(atd.sampled_sets(), 32);
+    }
+
+    #[test]
+    fn paper_atd_size_is_about_3_25_kb() {
+        // Section III: "the ATD size per core is 3.25KB (for 64-bit
+        // architecture with 47 tag bits and 2MB, 16-way L2 cache)".
+        let atd = AtdTags::new(l2_geom(), 32);
+        let bytes = atd.storage_bytes(64);
+        // 32 sets x 16 ways x 48 bits = 3 KB tags + valid; the paper's
+        // 3.25 KB includes per-line LRU bits — accept the 2.5..3.5 KB band.
+        assert!(
+            (2_560..=3_584).contains(&bytes),
+            "ATD bytes {bytes} outside expected band"
+        );
+    }
+
+    #[test]
+    fn only_multiple_of_ratio_sets_are_sampled() {
+        let atd = AtdTags::new(l2_geom(), 32);
+        let g = l2_geom();
+        // Set index of addr = lines bits: set k = addr (k << 7).
+        let addr_of_set = |s: u64| s << 7;
+        assert_eq!(atd.sampled_set(addr_of_set(0)), Some(0));
+        assert_eq!(atd.sampled_set(addr_of_set(32)), Some(1));
+        assert_eq!(atd.sampled_set(addr_of_set(31)), None);
+        assert_eq!(atd.sampled_set(addr_of_set(33)), None);
+        assert_eq!(g.set_index(addr_of_set(32)), 32);
+    }
+
+    #[test]
+    fn lookup_fill_round_trip() {
+        let mut atd = AtdTags::new(l2_geom(), 32);
+        let addr = 0x40_0000u64; // maps to set 0 (multiple of 32 sets x 128)
+        let set = atd.sampled_set(addr).unwrap();
+        let tag = atd.tag(addr);
+        assert_eq!(atd.lookup(set, tag), None);
+        let way = atd.invalid_way(set).unwrap();
+        atd.fill(set, way, tag);
+        assert_eq!(atd.lookup(set, tag), Some(way));
+    }
+
+    #[test]
+    fn full_atd_with_ratio_one() {
+        let atd = AtdTags::new(l2_geom(), 1);
+        assert_eq!(atd.sampled_sets(), 1024);
+        assert!(atd.sampled_set(0x1234_5678).is_some());
+    }
+
+    #[test]
+    fn reset_invalidates() {
+        let mut atd = AtdTags::new(l2_geom(), 32);
+        atd.fill(0, 0, 42);
+        atd.reset();
+        assert_eq!(atd.lookup(0, 42), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ratio_larger_than_sets_panics() {
+        let g = CacheGeometry::new(4096, 4, 64).unwrap(); // 16 sets
+        let _ = AtdTags::new(g, 32);
+    }
+}

@@ -1,0 +1,382 @@
+//! The dynamic CPA controller: ties profiling, selection and enforcement
+//! together at every interval boundary.
+
+use crate::config::{CpaConfig, Objective, Selector};
+use crate::enforce::{build_enforcement, equal_allocation};
+use crate::minmisses::{fairness_minimax, min_misses_dp, min_misses_greedy};
+use crate::profiler::{Profiler, ProfilerState};
+use cachesim::{Addr, CacheGeometry, Enforcement};
+
+/// Dynamic cache-partitioning controller for one shared L2.
+///
+/// Usage protocol (driven by the CMP simulator):
+///
+/// 1. install [`CpaController::initial_enforcement`] on the L2;
+/// 2. call [`CpaController::observe`] for **every** L2 access (the
+///    controller's per-thread ATDs sample internally);
+/// 3. at every `interval_cycles` boundary call
+///    [`CpaController::on_interval`] and install the returned enforcement.
+#[derive(Debug, Clone)]
+pub struct CpaController {
+    config: CpaConfig,
+    assoc: usize,
+    profilers: Vec<ProfilerState>,
+    allocation: Vec<usize>,
+    /// Allocation decided at each interval boundary (for analysis).
+    history: Vec<Vec<usize>>,
+    intervals: u64,
+}
+
+impl CpaController {
+    /// Build a controller for `num_cores` threads sharing an L2 of shape
+    /// `geom`.
+    pub fn new(config: CpaConfig, geom: CacheGeometry, num_cores: usize) -> Self {
+        assert!(
+            num_cores >= 1 && num_cores <= geom.assoc(),
+            "every thread needs at least one way"
+        );
+        let profilers = (0..num_cores)
+            .map(|_| {
+                ProfilerState::new(
+                    config.policy,
+                    geom,
+                    config.sample_ratio,
+                    config.nru_scale,
+                    config.nru_update,
+                )
+            })
+            .collect();
+        let allocation = equal_allocation(num_cores, geom.assoc());
+        CpaController {
+            assoc: geom.assoc(),
+            profilers,
+            allocation,
+            history: Vec::new(),
+            intervals: 0,
+            config,
+        }
+    }
+
+    /// The configuration acronym (e.g. `M-0.75N`).
+    pub fn acronym(&self) -> String {
+        self.config.acronym()
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CpaConfig {
+        &self.config
+    }
+
+    /// Repartition interval in cycles.
+    pub fn interval_cycles(&self) -> u64 {
+        self.config.interval_cycles
+    }
+
+    /// The enforcement for the starting equal split.
+    pub fn initial_enforcement(&self) -> Enforcement {
+        build_enforcement(&self.config, &self.allocation, self.assoc)
+            .expect("equal split is always enforceable")
+    }
+
+    /// Feed one L2 access of `core` into its profiler.
+    #[inline]
+    pub fn observe(&mut self, core: usize, addr: Addr) {
+        self.profilers[core].observe(addr);
+    }
+
+    /// Interval boundary: read the (e)SDHs, select a new partition with
+    /// MinMisses, decay the SDHs, and return the enforcement to install.
+    ///
+    /// If the histograms hold fewer than `min_samples_per_thread` samples
+    /// per thread on average, the current partition is kept (and the SDHs
+    /// are left to accumulate) — repartitioning off a cold histogram is
+    /// pure noise.
+    pub fn on_interval(&mut self) -> Enforcement {
+        self.on_interval_with_feedback(None)
+    }
+
+    /// Interval boundary with optional miss feedback: `observed_misses[c]`
+    /// is the number of L2 misses core `c` actually suffered since the
+    /// last boundary. With `adaptive_nru_scale` enabled, the NRU profilers
+    /// compare their prediction at the installed allocation against the
+    /// observation and nudge their scaling factor accordingly — the
+    /// estimation-accuracy extension the paper leaves as future work.
+    pub fn on_interval_with_feedback(
+        &mut self,
+        observed_misses: Option<&[u64]>,
+    ) -> Enforcement {
+        let total: u64 = self.profilers.iter().map(|p| p.sdh().total()).sum();
+        let warm = total >= self.config.min_samples_per_thread * self.profilers.len() as u64;
+        if warm {
+            if self.config.adaptive_nru_scale {
+                if let Some(observed) = observed_misses {
+                    self.adapt_nru_scales(observed);
+                }
+            }
+            let curves: Vec<Vec<u64>> =
+                self.profilers.iter().map(|p| p.sdh().miss_curve()).collect();
+            self.allocation = match self.config.objective {
+                Objective::Fairness => fairness_minimax(&curves, self.assoc),
+                Objective::MinMisses => match self.config.selector {
+                    Selector::ExactDp => min_misses_dp(&curves, self.assoc),
+                    Selector::Greedy => min_misses_greedy(&curves, self.assoc),
+                },
+            };
+            for p in &mut self.profilers {
+                p.decay();
+            }
+        }
+        self.intervals += 1;
+        self.history.push(self.allocation.clone());
+        build_enforcement(&self.config, &self.allocation, self.assoc)
+            .expect("MinMisses allocations are always enforceable")
+    }
+
+    /// One feedback step of the adaptive scaling factor: predicted misses
+    /// at the installed allocation (ATD counts x sampling ratio) vs
+    /// observed misses. Predicting too few misses means the distance
+    /// estimates are too small -> raise `S`; too many -> lower it.
+    fn adapt_nru_scales(&mut self, observed_misses: &[u64]) {
+        const STEP: f64 = 0.05;
+        const DEADBAND: f64 = 0.15;
+        let ratio = self.config.sample_ratio as f64;
+        for (c, p) in self.profilers.iter_mut().enumerate() {
+            let alloc = self.allocation[c];
+            let predicted = p.sdh().misses_with_ways(alloc) as f64 * ratio;
+            let observed = observed_misses.get(c).copied().unwrap_or(0) as f64;
+            if observed < 1.0 || predicted < 1.0 {
+                continue;
+            }
+            let Some(nru) = p.as_nru_mut() else { return };
+            let err = predicted / observed;
+            if err < 1.0 - DEADBAND {
+                nru.set_scale(nru.scale() + STEP);
+            } else if err > 1.0 + DEADBAND {
+                nru.set_scale(nru.scale() - STEP);
+            }
+        }
+    }
+
+    /// The most recent allocation (ways per thread).
+    pub fn allocation(&self) -> &[usize] {
+        &self.allocation
+    }
+
+    /// All allocations decided so far.
+    pub fn history(&self) -> &[Vec<usize>] {
+        &self.history
+    }
+
+    /// Number of interval boundaries processed.
+    pub fn intervals(&self) -> u64 {
+        self.intervals
+    }
+
+    /// The per-thread profilers (for inspection).
+    pub fn profilers(&self) -> &[ProfilerState] {
+        &self.profilers
+    }
+
+    /// Current NRU scaling factors per thread (None entries for non-NRU
+    /// configurations).
+    pub fn nru_scales(&self) -> Vec<Option<f64>> {
+        self.profilers.iter().map(|p| p.nru_scale()).collect()
+    }
+
+    /// Total ATD probes across threads (for the power model).
+    pub fn total_observed(&self) -> u64 {
+        self.profilers.iter().map(|p| p.observed()).sum()
+    }
+
+    /// Reset profilers and return to the equal split.
+    pub fn reset(&mut self) {
+        for p in &mut self.profilers {
+            p.reset();
+        }
+        self.allocation = equal_allocation(self.profilers.len(), self.assoc);
+        self.history.clear();
+        self.intervals = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cachesim::PolicyKind;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::new(2 * 1024 * 1024, 16, 128).unwrap()
+    }
+
+    /// Byte address of the n-th line in sampled set 0.
+    fn sampled_addr(n: u64) -> Addr {
+        (n << 10) << 7
+    }
+
+    #[test]
+    fn initial_enforcement_is_equal_split() {
+        let c = CpaController::new(CpaConfig::m_l(), geom(), 2);
+        assert_eq!(c.allocation(), &[8, 8]);
+        match c.initial_enforcement() {
+            Enforcement::Masks(masks) => {
+                assert_eq!(masks[0].count(), 8);
+                assert_eq!(masks[1].count(), 8);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interval_reallocates_toward_the_needier_thread() {
+        let mut c = CpaController::new(CpaConfig::m_l(), geom(), 2);
+        // Thread 0 cycles through 12 lines of a sampled set (needs 12
+        // ways); thread 1 hammers 1 line (needs 1 way).
+        for _ in 0..200 {
+            for n in 0..12 {
+                c.observe(0, sampled_addr(n));
+            }
+            c.observe(1, sampled_addr(100));
+        }
+        c.on_interval();
+        let alloc = c.allocation();
+        assert!(
+            alloc[0] >= 12,
+            "thread 0 should receive its working set: {alloc:?}"
+        );
+        assert_eq!(alloc.iter().sum::<usize>(), 16);
+    }
+
+    #[test]
+    fn works_for_all_paper_configs() {
+        for cfg in CpaConfig::figure7_set() {
+            let mut c = CpaController::new(cfg.clone(), geom(), 4);
+            for i in 0..400u64 {
+                c.observe((i % 4) as usize, sampled_addr(i % 10));
+            }
+            let e = c.on_interval();
+            assert!(e.is_partitioned(), "{}", cfg.acronym());
+            assert_eq!(c.allocation().iter().sum::<usize>(), 16);
+            assert!(c.allocation().iter().all(|&w| w >= 1));
+        }
+    }
+
+    #[test]
+    fn bt_strict_mode_emits_vector_enforcement() {
+        let mut cfg = CpaConfig::m_bt();
+        cfg.bt_strict_vectors = true;
+        let mut c = CpaController::new(cfg, geom(), 2);
+        for n in 0..6 {
+            c.observe(0, sampled_addr(n));
+        }
+        let e = c.on_interval();
+        assert!(matches!(e, Enforcement::BtVectors { .. }));
+        assert_eq!(c.config().policy, PolicyKind::Bt);
+    }
+
+    #[test]
+    fn history_and_interval_counting() {
+        let mut c = CpaController::new(CpaConfig::c_l(), geom(), 2);
+        c.on_interval();
+        c.on_interval();
+        assert_eq!(c.intervals(), 2);
+        assert_eq!(c.history().len(), 2);
+    }
+
+    #[test]
+    fn decay_happens_each_interval() {
+        let mut c = CpaController::new(CpaConfig::m_l(), geom(), 2);
+        for _ in 0..64 {
+            c.observe(0, sampled_addr(0));
+        }
+        let before = c.profilers()[0].sdh().total();
+        c.on_interval();
+        let after = c.profilers()[0].sdh().total();
+        assert!(after <= before / 2 + 1, "decay must halve ({before} -> {after})");
+    }
+
+    #[test]
+    fn reset_restores_equal_split() {
+        let mut c = CpaController::new(CpaConfig::m_l(), geom(), 2);
+        for _ in 0..100 {
+            for n in 0..12 {
+                c.observe(0, sampled_addr(n));
+            }
+        }
+        c.on_interval();
+        c.reset();
+        assert_eq!(c.allocation(), &[8, 8]);
+        assert_eq!(c.intervals(), 0);
+        assert_eq!(c.total_observed(), 0);
+    }
+
+    #[test]
+    fn fairness_objective_balances_identical_threads() {
+        use crate::config::Objective;
+        let mut cfg = CpaConfig::m_l();
+        cfg.objective = Objective::Fairness;
+        let mut c = CpaController::new(cfg, geom(), 2);
+        // Identical pressure from both threads, working sets of 6 ways
+        // each (both fit in 16 ways together).
+        for _ in 0..100 {
+            for n in 0..6 {
+                c.observe(0, sampled_addr(n));
+                c.observe(1, sampled_addr(100 + n));
+            }
+        }
+        c.on_interval();
+        let alloc = c.allocation();
+        assert!(
+            alloc[0] >= 6 && alloc[1] >= 6,
+            "fairness must cover both working sets: {alloc:?}"
+        );
+    }
+
+    #[test]
+    fn adaptive_scale_moves_toward_observed_misses() {
+        let mut cfg = CpaConfig::m_nru(0.75);
+        cfg.adaptive_nru_scale = true;
+        cfg.min_samples_per_thread = 1;
+        let mut c = CpaController::new(cfg, geom(), 2);
+        for _ in 0..100 {
+            for n in 0..6 {
+                c.observe(0, sampled_addr(n));
+                c.observe(1, sampled_addr(100 + n));
+            }
+        }
+        let before = c.nru_scales()[0].unwrap();
+        // Report far more observed misses than predicted: scales rise.
+        c.on_interval_with_feedback(Some(&[1_000_000, 1_000_000]));
+        let after = c.nru_scales()[0].unwrap();
+        assert!(after > before, "scale should rise: {before} -> {after}");
+        // Now report (effectively) fewer misses than predicted: it falls.
+        for _ in 0..100 {
+            for n in 0..6 {
+                c.observe(0, sampled_addr(n));
+                c.observe(1, sampled_addr(100 + n));
+            }
+        }
+        c.on_interval_with_feedback(Some(&[1, 1]));
+        let third = c.nru_scales()[0].unwrap();
+        assert!(third < after, "scale should fall: {after} -> {third}");
+    }
+
+    #[test]
+    fn non_adaptive_config_keeps_its_scale() {
+        let cfg = CpaConfig::m_nru(0.75);
+        let mut c = CpaController::new(cfg, geom(), 2);
+        for _ in 0..100 {
+            for n in 0..6 {
+                c.observe(0, sampled_addr(n));
+            }
+        }
+        c.on_interval_with_feedback(Some(&[999_999, 999_999]));
+        assert_eq!(c.nru_scales()[0], Some(0.75));
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_threads_than_ways_rejected() {
+        let g = CacheGeometry::new(4096, 2, 64).unwrap();
+        let _ = CpaController::new(CpaConfig::m_l(), g, 4);
+    }
+}

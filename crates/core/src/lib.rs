@@ -1,0 +1,47 @@
+//! # plru-core — cache partitioning for pseudo-LRU replacement policies
+//!
+//! This crate implements the primary contribution of *"Adapting Cache
+//! Partitioning Algorithms to Pseudo-LRU Replacement Policies"*
+//! (Kędzierski, Moretó, Cazorla, Valero — IPDPS 2010): a complete dynamic
+//! cache-partitioning system that works on top of the NRU and Binary-Tree
+//! pseudo-LRU replacement schemes used by real processors, alongside the
+//! classical true-LRU system it is measured against.
+//!
+//! The moving parts mirror the paper's Section II/III decomposition:
+//!
+//! * **Profiling logic** — a per-thread sampled Auxiliary Tag Directory
+//!   ([`atd`]) feeding a Stack Distance Histogram ([`sdh::Sdh`]).
+//!   * under true LRU the ATD reports exact stack positions
+//!     ([`profiler::LruProfiler`]);
+//!   * under NRU the stack position is *estimated* from the number of set
+//!     used bits, with a scaling factor `S` ([`profiler::NruProfiler`],
+//!     Section III-A);
+//!   * under BT it is estimated by XOR-ing the accessed way's identifier
+//!     bits with the tree bits on its path ([`profiler::BtProfiler`],
+//!     Section III-B).
+//! * **Partition selection** — the MinMisses algorithm ([`minmisses`]),
+//!   both as an exact dynamic program and as the classical greedy
+//!   marginal-gain heuristic.
+//! * **Partition enforcement** — translation of a way allocation into the
+//!   mechanism the L2 actually supports ([`enforce`]): per-set owner
+//!   counters (`C`), global replacement masks (`M`), or BT up/down
+//!   vectors (strict aligned-subtree mode or the generalized masked walk).
+//! * **The dynamic controller** ([`controller::CpaController`]) that ties
+//!   it together at every interval boundary (1 M cycles in the paper).
+//!
+//! Configurations are named with the paper's acronyms ([`config::CpaConfig`]):
+//! `C-L`, `M-L`, `M-1.0N`, `M-0.75N`, `M-0.5N`, `M-BT`.
+
+pub mod atd;
+pub mod config;
+pub mod controller;
+pub mod enforce;
+pub mod minmisses;
+pub mod profiler;
+pub mod sdh;
+
+pub use config::{CpaConfig, EnforcementStyle, NruUpdateMode, Objective, Selector};
+pub use controller::CpaController;
+pub use minmisses::{fairness_minimax, min_misses_dp, min_misses_greedy};
+pub use profiler::{BtProfiler, LruProfiler, NruProfiler, Profiler, ProfilerState};
+pub use sdh::Sdh;

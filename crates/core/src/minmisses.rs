@@ -1,0 +1,406 @@
+//! MinMisses partition selection (Section II-B).
+//!
+//! Given each thread's predicted miss curve, choose a ways-per-thread
+//! allocation that minimises the total number of misses, giving at least
+//! one way per thread. Two solvers:
+//!
+//! * [`min_misses_dp`] — exact dynamic program, `O(N * A^2)`. Exactness
+//!   matters here because eSDH curves are *estimates* and need not be
+//!   convex, which breaks the classical greedy argument.
+//! * [`min_misses_greedy`] — the classical marginal-gain heuristic
+//!   (one way at a time to the thread with the largest miss reduction),
+//!   kept for the ablation comparing solver quality.
+
+/// Exact MinMisses by dynamic programming.
+///
+/// `curves[t][w]` = predicted misses of thread `t` when given `w` ways
+/// (`w in 0..=assoc`; entry 0 is unused by the solver since every thread
+/// receives at least one way). Returns the allocation (one entry per
+/// thread, each ≥ 1, summing to exactly `assoc`).
+///
+/// Panics if there are more threads than ways or malformed curves.
+pub fn min_misses_dp(curves: &[Vec<u64>], assoc: usize) -> Vec<usize> {
+    let n = curves.len();
+    assert!(n >= 1, "need at least one thread");
+    assert!(n <= assoc, "cannot give every thread a way");
+    assert!(
+        curves.iter().all(|c| c.len() == assoc + 1),
+        "each curve must have assoc+1 entries"
+    );
+
+    const INF: u64 = u64::MAX / 2;
+    // dp[t][w] = minimal total misses of threads 0..t using exactly w ways.
+    let mut dp = vec![vec![INF; assoc + 1]; n + 1];
+    let mut choice = vec![vec![0usize; assoc + 1]; n + 1];
+    dp[0][0] = 0;
+    // Tie-break toward the equal split: with flat or sparse curves (cold
+    // SDHs, streaming threads) many allocations predict identical misses,
+    // and collapsing a thread to one way on a tie is gratuitously unfair.
+    let fair = assoc as f64 / n as f64;
+    for t in 0..n {
+        // Later threads each still need >= 1 way.
+        let remaining = n - 1 - t;
+        for used in t..=assoc {
+            if dp[t][used] >= INF {
+                continue;
+            }
+            let max_take = assoc - used - remaining;
+            for take in 1..=max_take {
+                let cost = dp[t][used] + curves[t][take];
+                let slot = used + take;
+                let better = cost < dp[t + 1][slot]
+                    || (cost == dp[t + 1][slot]
+                        && (take as f64 - fair).abs() < (choice[t + 1][slot] as f64 - fair).abs());
+                if better {
+                    dp[t + 1][slot] = cost;
+                    choice[t + 1][slot] = take;
+                }
+            }
+        }
+    }
+    // Reconstruct from the full allocation (MinMisses always hands out the
+    // whole cache: unused ways would be free hits).
+    let mut alloc = vec![0usize; n];
+    let mut used = assoc;
+    for t in (1..=n).rev() {
+        let take = choice[t][used];
+        debug_assert!(take >= 1);
+        alloc[t - 1] = take;
+        used -= take;
+    }
+    debug_assert_eq!(used, 0);
+    alloc
+}
+
+/// Greedy MinMisses: start at one way per thread, then repeatedly give the
+/// next way to the thread whose miss count drops the most.
+pub fn min_misses_greedy(curves: &[Vec<u64>], assoc: usize) -> Vec<usize> {
+    let n = curves.len();
+    assert!(n >= 1 && n <= assoc);
+    assert!(curves.iter().all(|c| c.len() == assoc + 1));
+    let mut alloc = vec![1usize; n];
+    for _ in n..assoc {
+        let mut best_t = 0usize;
+        let mut best_gain = -1i128;
+        for (t, curve) in curves.iter().enumerate() {
+            let w = alloc[t];
+            if w >= assoc {
+                continue;
+            }
+            let gain = curve[w] as i128 - curve[w + 1] as i128;
+            if gain > best_gain {
+                best_gain = gain;
+                best_t = t;
+            }
+        }
+        alloc[best_t] += 1;
+    }
+    alloc
+}
+
+/// Total predicted misses of an allocation under the given curves.
+pub fn predicted_misses(curves: &[Vec<u64>], alloc: &[usize]) -> u64 {
+    curves
+        .iter()
+        .zip(alloc)
+        .map(|(curve, &w)| curve[w.min(curve.len() - 1)])
+        .sum()
+}
+
+/// Fairness-oriented partition selection (an extension the paper points
+/// to via Kim et al. / FlexDCP): minimise the **maximum relative miss
+/// increase** over threads, where thread `t`'s relative increase at `w`
+/// ways is `(misses_t(w) + 1) / (misses_t(A) + 1)` — its miss count
+/// normalised to what it would suffer owning the whole cache. Ties on the
+/// minimax value are broken by total misses, so the fair solution stays
+/// as efficient as possible.
+///
+/// Exact dynamic program, `O(N * A^2)`, same input conventions as
+/// [`min_misses_dp`].
+pub fn fairness_minimax(curves: &[Vec<u64>], assoc: usize) -> Vec<usize> {
+    let n = curves.len();
+    assert!(n >= 1 && n <= assoc);
+    assert!(curves.iter().all(|c| c.len() == assoc + 1));
+
+    // Normalised penalty of thread t at w ways.
+    let penalty = |t: usize, w: usize| -> f64 {
+        (curves[t][w] as f64 + 1.0) / (curves[t][assoc] as f64 + 1.0)
+    };
+
+    const INF: f64 = f64::INFINITY;
+    // dp[t][w] = (minimax penalty, total misses) for threads 0..t over
+    // exactly w ways.
+    let mut dp = vec![vec![(INF, u64::MAX); assoc + 1]; n + 1];
+    let mut choice = vec![vec![0usize; assoc + 1]; n + 1];
+    dp[0][0] = (0.0, 0);
+    for t in 0..n {
+        let remaining = n - 1 - t;
+        for used in t..=assoc {
+            let (cur_max, cur_tot) = dp[t][used];
+            if cur_max.is_infinite() {
+                continue;
+            }
+            let max_take = assoc - used - remaining;
+            for take in 1..=max_take {
+                let cand = (cur_max.max(penalty(t, take)), cur_tot + curves[t][take]);
+                let slot = used + take;
+                if cand < dp[t + 1][slot] {
+                    dp[t + 1][slot] = cand;
+                    choice[t + 1][slot] = take;
+                }
+            }
+        }
+    }
+    let mut alloc = vec![0usize; n];
+    let mut used = assoc;
+    for t in (1..=n).rev() {
+        let take = choice[t][used];
+        debug_assert!(take >= 1);
+        alloc[t - 1] = take;
+        used -= take;
+    }
+    debug_assert_eq!(used, 0);
+    alloc
+}
+
+/// Maximum relative miss increase of an allocation (the quantity
+/// [`fairness_minimax`] minimises).
+pub fn max_relative_increase(curves: &[Vec<u64>], alloc: &[usize]) -> f64 {
+    let assoc = curves[0].len() - 1;
+    curves
+        .iter()
+        .zip(alloc)
+        .map(|(c, &w)| (c[w.min(assoc)] as f64 + 1.0) / (c[assoc] as f64 + 1.0))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A convex curve with a knee at `knee` ways and floor `floor`.
+    fn knee_curve(assoc: usize, knee: usize, height: u64, floor: u64) -> Vec<u64> {
+        (0..=assoc)
+            .map(|w| {
+                if w >= knee {
+                    floor
+                } else {
+                    floor + height * (knee - w) as u64 / knee as u64
+                }
+            })
+            .collect()
+    }
+
+    /// Brute-force optimum by enumerating all allocations.
+    fn brute_force(curves: &[Vec<u64>], assoc: usize) -> u64 {
+        fn rec(curves: &[Vec<u64>], t: usize, left: usize, acc: u64, best: &mut u64) {
+            let n = curves.len();
+            if t == n {
+                if left == 0 {
+                    *best = (*best).min(acc);
+                }
+                return;
+            }
+            let remaining = n - 1 - t;
+            for take in 1..=(left.saturating_sub(remaining)) {
+                rec(curves, t + 1, left - take, acc + curves[t][take], best);
+            }
+        }
+        let mut best = u64::MAX;
+        rec(curves, 0, assoc, 0, &mut best);
+        best
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_knee_curves() {
+        let assoc = 16;
+        let curves = vec![
+            knee_curve(assoc, 3, 1000, 50),
+            knee_curve(assoc, 8, 3000, 100),
+            knee_curve(assoc, 12, 500, 20),
+        ];
+        let alloc = min_misses_dp(&curves, assoc);
+        assert_eq!(alloc.iter().sum::<usize>(), assoc);
+        assert!(alloc.iter().all(|&w| w >= 1));
+        assert_eq!(
+            predicted_misses(&curves, &alloc),
+            brute_force(&curves, assoc)
+        );
+    }
+
+    #[test]
+    fn dp_matches_brute_force_on_non_convex_curves() {
+        // Staircase curves (non-convex): greedy can fail, DP must not.
+        let assoc = 8;
+        let stair = |drops: &[(usize, u64)]| -> Vec<u64> {
+            let mut c = vec![0u64; assoc + 1];
+            let total: u64 = drops.iter().map(|&(_, d)| d).sum();
+            for w in 0..=assoc {
+                c[w] = total
+                    - drops
+                        .iter()
+                        .filter(|&&(at, _)| w >= at)
+                        .map(|&(_, d)| d)
+                        .sum::<u64>();
+            }
+            c
+        };
+        let curves = vec![
+            stair(&[(4, 1000)]),          // all-or-nothing at 4 ways
+            stair(&[(1, 100), (6, 800)]), // two cliffs
+            stair(&[(2, 300)]),
+        ];
+        let alloc = min_misses_dp(&curves, assoc);
+        assert_eq!(
+            predicted_misses(&curves, &alloc),
+            brute_force(&curves, assoc)
+        );
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_but_dp_is_not() {
+        // Thread 0 gains nothing until 5 ways then everything; thread 1
+        // gains a trickle each way. Greedy chases the trickle.
+        let assoc = 6;
+        let cliff: Vec<u64> = (0..=assoc).map(|w| if w >= 5 { 0 } else { 1000 }).collect();
+        let trickle: Vec<u64> = (0..=assoc).map(|w| 600 - 100 * w.min(6) as u64).collect();
+        let curves = vec![cliff, trickle];
+        let dp = min_misses_dp(&curves, assoc);
+        let greedy = min_misses_greedy(&curves, assoc);
+        assert!(predicted_misses(&curves, &dp) <= predicted_misses(&curves, &greedy));
+        assert_eq!(dp, vec![5, 1], "DP takes the cliff");
+    }
+
+    #[test]
+    fn everyone_gets_at_least_one_way() {
+        let assoc = 16;
+        // A monster thread that wants everything.
+        let hog: Vec<u64> = (0..=assoc).map(|w| 1_000_000 - 10_000 * w as u64).collect();
+        let tiny: Vec<u64> = vec![5; assoc + 1];
+        for alloc in [
+            min_misses_dp(&[hog.clone(), tiny.clone()], assoc),
+            min_misses_greedy(&[hog, tiny], assoc),
+        ] {
+            assert!(alloc.iter().all(|&w| w >= 1));
+            assert_eq!(alloc.iter().sum::<usize>(), assoc);
+        }
+    }
+
+    #[test]
+    fn single_thread_gets_the_whole_cache() {
+        let curves = vec![knee_curve(16, 8, 100, 0)];
+        assert_eq!(min_misses_dp(&curves, 16), vec![16]);
+        assert_eq!(min_misses_greedy(&curves, 16), vec![16]);
+    }
+
+    #[test]
+    fn eight_threads_on_sixteen_ways() {
+        let assoc = 16;
+        let curves: Vec<Vec<u64>> = (0..8)
+            .map(|t| knee_curve(assoc, 1 + t * 2 % 8, 100 * (t as u64 + 1), 10))
+            .collect();
+        let alloc = min_misses_dp(&curves, assoc);
+        assert_eq!(alloc.len(), 8);
+        assert_eq!(alloc.iter().sum::<usize>(), 16);
+        assert!(alloc.iter().all(|&w| w >= 1));
+    }
+
+    #[test]
+    fn flat_curves_give_any_valid_allocation() {
+        let assoc = 4;
+        let flat = vec![vec![7u64; assoc + 1]; 2];
+        let alloc = min_misses_dp(&flat, assoc);
+        assert_eq!(alloc.iter().sum::<usize>(), 4);
+        assert_eq!(predicted_misses(&flat, &alloc), 14);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_threads_than_ways_panics() {
+        let curves = vec![vec![0u64; 3]; 4];
+        let _ = min_misses_dp(&curves, 2);
+    }
+
+    #[test]
+    fn fairness_never_starves_a_thread_minmisses_would() {
+        // Thread 0: cliff at 6 ways. Thread 1: modest linear gains.
+        // MinMisses may starve thread 1; fairness must balance the
+        // relative increases.
+        let assoc = 8;
+        let cliff: Vec<u64> = (0..=assoc)
+            .map(|w| if w >= 6 { 10 } else { 100_000 })
+            .collect();
+        let linear: Vec<u64> = (0..=assoc).map(|w| 4000 - 400 * w as u64).collect();
+        let curves = vec![cliff, linear];
+        let fair = fairness_minimax(&curves, assoc);
+        let mm = min_misses_dp(&curves, assoc);
+        assert!(
+            max_relative_increase(&curves, &fair) <= max_relative_increase(&curves, &mm) + 1e-12
+        );
+        assert_eq!(fair.iter().sum::<usize>(), assoc);
+        assert!(fair.iter().all(|&w| w >= 1));
+    }
+
+    #[test]
+    fn fairness_matches_brute_force_minimax() {
+        let assoc = 8;
+        let curves = vec![
+            knee_curve(assoc, 3, 900, 40),
+            knee_curve(assoc, 6, 2500, 90),
+            knee_curve(assoc, 2, 300, 10),
+        ];
+        let fair = fairness_minimax(&curves, assoc);
+        // Enumerate all allocations; find the minimal max penalty.
+        fn rec(
+            curves: &[Vec<u64>],
+            assoc: usize,
+            t: usize,
+            left: usize,
+            acc: &mut Vec<usize>,
+            best: &mut f64,
+        ) {
+            if t == curves.len() {
+                if left == 0 {
+                    *best = best.min(max_relative_increase(curves, acc));
+                }
+                return;
+            }
+            let rem = curves.len() - 1 - t;
+            for take in 1..=(left.saturating_sub(rem)) {
+                acc.push(take);
+                rec(curves, assoc, t + 1, left - take, acc, best);
+                acc.pop();
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(&curves, assoc, 0, assoc, &mut Vec::new(), &mut best);
+        assert!((max_relative_increase(&curves, &fair) - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_on_identical_threads_is_balanced() {
+        let assoc = 8;
+        let c = knee_curve(assoc, 4, 1000, 100);
+        let fair = fairness_minimax(&[c.clone(), c], assoc);
+        assert_eq!(fair, vec![4, 4]);
+    }
+
+    #[test]
+    fn greedy_equals_dp_on_convex_curves() {
+        // For convex curves greedy is optimal; the two must agree in cost.
+        let assoc = 16;
+        let curves: Vec<Vec<u64>> = (1..=4)
+            .map(|k| {
+                (0..=assoc)
+                    .map(|w| 10_000u64 / (w as u64 + k))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let dp = min_misses_dp(&curves, assoc);
+        let gr = min_misses_greedy(&curves, assoc);
+        assert_eq!(
+            predicted_misses(&curves, &dp),
+            predicted_misses(&curves, &gr)
+        );
+    }
+}

@@ -1,0 +1,624 @@
+//! The three profiling logics: exact SDH under LRU, and the paper's two
+//! estimated-SDH (eSDH) proposals for NRU and BT.
+//!
+//! Every profiler owns a sampled [`AtdTags`] plus the replacement metadata
+//! of its policy, and feeds one [`Sdh`]. The ATD always runs the *same*
+//! replacement policy as the L2 (the paper applies NRU/BT "to both the L2
+//! cache and ATDs") and is never partitioned — it models the thread running
+//! alone with the whole cache.
+
+use crate::atd::AtdTags;
+use crate::config::NruUpdateMode;
+use crate::sdh::Sdh;
+use cachesim::policy::{Bt, Lru, Nru};
+use cachesim::{Addr, CacheGeometry, PolicyKind, WayMask};
+
+/// Common interface of the three profiling logics.
+pub trait Profiler {
+    /// Observe one L2 access of the owning thread (the profiler decides
+    /// internally whether the set is sampled).
+    fn observe(&mut self, addr: Addr);
+
+    /// The thread's (e)SDH.
+    fn sdh(&self) -> &Sdh;
+
+    /// Interval-boundary decay (halve the SDH registers).
+    fn decay(&mut self);
+
+    /// Clear ATD content and SDH.
+    fn reset(&mut self);
+
+    /// Accesses that actually probed the ATD (sampled-set hits+misses).
+    fn observed(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------
+// LRU: exact stack distances (the classical Mattson/Qureshi profiler).
+// ---------------------------------------------------------------------
+
+/// Exact SDH profiler for true LRU (Section II-A).
+#[derive(Debug, Clone)]
+pub struct LruProfiler {
+    tags: AtdTags,
+    lru: Lru,
+    sdh: Sdh,
+    observed: u64,
+    full: WayMask,
+}
+
+impl LruProfiler {
+    /// Build for an L2 of shape `geom`, sampling 1 in `sample_ratio` sets.
+    pub fn new(geom: CacheGeometry, sample_ratio: usize) -> Self {
+        let tags = AtdTags::new(geom, sample_ratio);
+        LruProfiler {
+            lru: Lru::new(tags.sampled_sets(), geom.assoc()),
+            sdh: Sdh::new(geom.assoc()),
+            observed: 0,
+            full: WayMask::full(geom.assoc()),
+            tags,
+        }
+    }
+}
+
+impl Profiler for LruProfiler {
+    fn observe(&mut self, addr: Addr) {
+        let Some(aset) = self.tags.sampled_set(addr) else {
+            return;
+        };
+        self.observed += 1;
+        let tag = self.tags.tag(addr);
+        match self.tags.lookup(aset, tag) {
+            Some(way) => {
+                // Exact stack position, read before promotion.
+                self.sdh.record(self.lru.stack_position(aset, way));
+                self.lru.on_access(aset, way);
+            }
+            None => {
+                self.sdh.record_miss();
+                let way = self
+                    .tags
+                    .invalid_way(aset)
+                    .unwrap_or_else(|| self.lru.victim(aset, self.full));
+                self.tags.fill(aset, way, tag);
+                self.lru.on_access(aset, way);
+            }
+        }
+    }
+
+    fn sdh(&self) -> &Sdh {
+        &self.sdh
+    }
+
+    fn decay(&mut self) {
+        self.sdh.decay();
+    }
+
+    fn reset(&mut self) {
+        self.tags.reset();
+        self.lru.reset();
+        self.sdh.reset();
+        self.observed = 0;
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+// ---------------------------------------------------------------------
+// NRU: estimated SDH from used-bit counts (Section III-A).
+// ---------------------------------------------------------------------
+
+/// eSDH profiler for NRU.
+///
+/// On a hit whose used bit is already 1 the true stack distance lies in
+/// `[1, U]` (`U` = number of set used bits, including the accessed line);
+/// the profiler assumes `ceil(S * U)` with scaling factor `S`. On a hit
+/// whose used bit is 0 the distance lies in `[U+1, A]`; the paper leaves
+/// the SDH unchanged ("increasing all of them does not change the shape of
+/// the miss curve"). ATD misses increment `r_{A+1}` as usual.
+#[derive(Debug, Clone)]
+pub struct NruProfiler {
+    tags: AtdTags,
+    nru: Nru,
+    sdh: Sdh,
+    scale: f64,
+    mode: NruUpdateMode,
+    observed: u64,
+    full: WayMask,
+}
+
+impl NruProfiler {
+    /// Build with eSDH scaling factor `scale` (the paper evaluates 1.0,
+    /// 0.75, 0.5) and the given hit-update mode.
+    pub fn new(
+        geom: CacheGeometry,
+        sample_ratio: usize,
+        scale: f64,
+        mode: NruUpdateMode,
+    ) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0);
+        let tags = AtdTags::new(geom, sample_ratio);
+        NruProfiler {
+            nru: Nru::new(tags.sampled_sets(), geom.assoc()),
+            sdh: Sdh::new(geom.assoc()),
+            scale,
+            mode,
+            observed: 0,
+            full: WayMask::full(geom.assoc()),
+            tags,
+        }
+    }
+
+    /// The estimated distance for a used-bit hit given `U` set bits:
+    /// `ceil(S * U)`, clamped to at least 1 ("if S×U does not result in an
+    /// integer number, we select the closest upper integer").
+    #[inline]
+    pub fn scaled_distance(&self, u: usize) -> usize {
+        ((self.scale * u as f64).ceil() as usize).max(1)
+    }
+
+    /// The current scaling factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Update the scaling factor (used by the adaptive-scale extension);
+    /// clamped to `(0, 1]`.
+    pub fn set_scale(&mut self, scale: f64) {
+        self.scale = scale.clamp(0.05, 1.0);
+    }
+}
+
+impl Profiler for NruProfiler {
+    fn observe(&mut self, addr: Addr) {
+        let Some(aset) = self.tags.sampled_set(addr) else {
+            return;
+        };
+        self.observed += 1;
+        let tag = self.tags.tag(addr);
+        match self.tags.lookup(aset, tag) {
+            Some(way) => {
+                if self.nru.is_used(aset, way) {
+                    // Distance within [1, U]: estimate ceil(S*U).
+                    let u = self.nru.used_count(aset);
+                    match self.mode {
+                        NruUpdateMode::Scaled => self.sdh.record(self.scaled_distance(u)),
+                        NruUpdateMode::Smear => {
+                            for d in 1..=u {
+                                self.sdh.record(d);
+                            }
+                        }
+                    }
+                }
+                // Used bit 0: distance within [U+1, A] — no SDH update.
+                self.nru.on_access(aset, way, self.full);
+            }
+            None => {
+                self.sdh.record_miss();
+                let way = self
+                    .tags
+                    .invalid_way(aset)
+                    .unwrap_or_else(|| self.nru.victim(aset, self.full));
+                self.tags.fill(aset, way, tag);
+                self.nru.on_access(aset, way, self.full);
+            }
+        }
+    }
+
+    fn sdh(&self) -> &Sdh {
+        &self.sdh
+    }
+
+    fn decay(&mut self) {
+        self.sdh.decay();
+    }
+
+    fn reset(&mut self) {
+        self.tags.reset();
+        self.nru.reset();
+        self.sdh.reset();
+        self.observed = 0;
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+// ---------------------------------------------------------------------
+// BT: estimated SDH from identifier-bit XOR (Section III-B).
+// ---------------------------------------------------------------------
+
+/// eSDH profiler for Binary-Tree pseudo-LRU.
+///
+/// For the accessed way `w` the decoder derives the identifier bits (the
+/// path-bit values that would make `w` the pseudo-LRU victim — numerically
+/// just `w`'s index bits, Figure 4(c)). The estimated stack position is
+/// `A - (path_bits XOR ID)` (Figure 4(b)): 1 when the line was just
+/// accessed, `A` when it is the current victim.
+#[derive(Debug, Clone)]
+pub struct BtProfiler {
+    tags: AtdTags,
+    bt: Bt,
+    sdh: Sdh,
+    observed: u64,
+}
+
+impl BtProfiler {
+    /// Build for an L2 of shape `geom` (power-of-two associativity).
+    pub fn new(geom: CacheGeometry, sample_ratio: usize) -> Self {
+        let tags = AtdTags::new(geom, sample_ratio);
+        BtProfiler {
+            bt: Bt::new(tags.sampled_sets(), geom.assoc()),
+            sdh: Sdh::new(geom.assoc()),
+            observed: 0,
+            tags,
+        }
+    }
+
+    /// The estimated stack position of way `way` in ATD set `aset`.
+    #[inline]
+    pub fn estimated_position(&self, aset: usize, way: usize) -> usize {
+        let id = way as u32; // the Figure 4(c) decoder
+        let x = self.bt.path_bits(aset, way) ^ id;
+        self.bt.assoc() - x as usize
+    }
+}
+
+impl Profiler for BtProfiler {
+    fn observe(&mut self, addr: Addr) {
+        let Some(aset) = self.tags.sampled_set(addr) else {
+            return;
+        };
+        self.observed += 1;
+        let tag = self.tags.tag(addr);
+        match self.tags.lookup(aset, tag) {
+            Some(way) => {
+                let d = self.estimated_position(aset, way);
+                self.sdh.record(d);
+                self.bt.on_access(aset, way);
+            }
+            None => {
+                self.sdh.record_miss();
+                let way = self
+                    .tags
+                    .invalid_way(aset)
+                    .unwrap_or_else(|| self.bt.victim(aset));
+                self.tags.fill(aset, way, tag);
+                self.bt.on_access(aset, way);
+            }
+        }
+    }
+
+    fn sdh(&self) -> &Sdh {
+        &self.sdh
+    }
+
+    fn decay(&mut self) {
+        self.sdh.decay();
+    }
+
+    fn reset(&mut self) {
+        self.tags.reset();
+        self.bt.reset();
+        self.sdh.reset();
+        self.observed = 0;
+    }
+
+    fn observed(&self) -> u64 {
+        self.observed
+    }
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+/// Enum dispatch over the three profilers.
+#[derive(Debug, Clone)]
+pub enum ProfilerState {
+    /// Exact SDH under LRU.
+    Lru(LruProfiler),
+    /// eSDH under NRU.
+    Nru(NruProfiler),
+    /// eSDH under BT.
+    Bt(BtProfiler),
+}
+
+impl ProfilerState {
+    /// The NRU profiler inside, if this is one.
+    pub fn as_nru_mut(&mut self) -> Option<&mut NruProfiler> {
+        match self {
+            ProfilerState::Nru(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// The NRU scaling factor, if this is an NRU profiler.
+    pub fn nru_scale(&self) -> Option<f64> {
+        match self {
+            ProfilerState::Nru(p) => Some(p.scale()),
+            _ => None,
+        }
+    }
+
+    /// Build the profiler matching an L2 replacement policy. Panics for
+    /// `Random` (the paper defines no profiling logic for it).
+    pub fn new(
+        kind: PolicyKind,
+        geom: CacheGeometry,
+        sample_ratio: usize,
+        nru_scale: f64,
+        nru_mode: NruUpdateMode,
+    ) -> Self {
+        match kind {
+            PolicyKind::Lru => ProfilerState::Lru(LruProfiler::new(geom, sample_ratio)),
+            PolicyKind::Nru => {
+                ProfilerState::Nru(NruProfiler::new(geom, sample_ratio, nru_scale, nru_mode))
+            }
+            PolicyKind::Bt => ProfilerState::Bt(BtProfiler::new(geom, sample_ratio)),
+            PolicyKind::Random => panic!("no profiling logic exists for random replacement"),
+        }
+    }
+}
+
+impl Profiler for ProfilerState {
+    fn observe(&mut self, addr: Addr) {
+        match self {
+            ProfilerState::Lru(p) => p.observe(addr),
+            ProfilerState::Nru(p) => p.observe(addr),
+            ProfilerState::Bt(p) => p.observe(addr),
+        }
+    }
+
+    fn sdh(&self) -> &Sdh {
+        match self {
+            ProfilerState::Lru(p) => p.sdh(),
+            ProfilerState::Nru(p) => p.sdh(),
+            ProfilerState::Bt(p) => p.sdh(),
+        }
+    }
+
+    fn decay(&mut self) {
+        match self {
+            ProfilerState::Lru(p) => p.decay(),
+            ProfilerState::Nru(p) => p.decay(),
+            ProfilerState::Bt(p) => p.decay(),
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            ProfilerState::Lru(p) => p.reset(),
+            ProfilerState::Nru(p) => p.reset(),
+            ProfilerState::Bt(p) => p.reset(),
+        }
+    }
+
+    fn observed(&self) -> u64 {
+        match self {
+            ProfilerState::Lru(p) => p.observed(),
+            ProfilerState::Nru(p) => p.observed(),
+            ProfilerState::Bt(p) => p.observed(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small fully-sampled geometry for precise checks: 4 sets x 4 ways.
+    fn tiny_geom() -> CacheGeometry {
+        CacheGeometry::new(1024, 4, 64).unwrap()
+    }
+
+    /// Byte address of the n-th distinct line mapping to set `set`.
+    fn addr_in_set(set: usize, n: u64) -> Addr {
+        ((n << 2) | set as u64) << 6
+    }
+
+    #[test]
+    fn lru_profiler_reproduces_figure_2() {
+        let mut p = LruProfiler::new(tiny_geom(), 1);
+        // Fill {A,B,C,D} = lines 0..4 of set 0 (4 compulsory misses).
+        for n in 0..4 {
+            p.observe(addr_in_set(0, n));
+        }
+        assert_eq!(p.sdh().register(5), 4, "four ATD misses");
+        // Accesses C D D: C at distance 2 (after fill order A,B,C,D the
+        // stack is D,C,B,A — C sits at position 2), D at 2, D at 1.
+        p.observe(addr_in_set(0, 2));
+        p.observe(addr_in_set(0, 3));
+        p.observe(addr_in_set(0, 3));
+        assert_eq!(p.sdh().register(1), 1, "second D access at distance 1");
+        assert_eq!(p.sdh().register(2), 2);
+    }
+
+    #[test]
+    fn lru_profiler_miss_curve_matches_exact_simulation() {
+        // The stack property: SDH-predicted misses at w ways must equal a
+        // real w-way LRU cache's misses on the same trace.
+        use cachesim::{Cache, CacheConfig};
+        let geom = tiny_geom();
+        let mut p = LruProfiler::new(geom, 1);
+        // A pseudo-random but deterministic trace over 12 lines.
+        let trace: Vec<Addr> = (0..4000u64)
+            .map(|i| addr_in_set((i % 4) as usize, (i * 7 + i * i / 5) % 12))
+            .collect();
+        for &a in &trace {
+            p.observe(a);
+        }
+        for ways in 1..=4usize {
+            let g = CacheGeometry::new(64 * 4 * ways as u64, ways, 64).unwrap();
+            assert_eq!(g.num_sets(), 4);
+            let mut c = Cache::new(CacheConfig {
+                geometry: g,
+                policy: PolicyKind::Lru,
+                num_cores: 1,
+                seed: 0,
+            });
+            let mut misses = 0u64;
+            for &a in &trace {
+                if !c.access(0, a, false).hit {
+                    misses += 1;
+                }
+            }
+            assert_eq!(
+                p.sdh().misses_with_ways(ways),
+                misses,
+                "stack property violated at {ways} ways"
+            );
+        }
+    }
+
+    #[test]
+    fn nru_profiler_estimates_figure_3a() {
+        // Figure 3(a): lines {A,B,C,D} resident, used bits cleared, then
+        // accesses C, D, D. Third access finds D's used bit 1 with U=2:
+        // estimated distance S*U = 2 at S=1.0.
+        let mut p = NruProfiler::new(tiny_geom(), 1, 1.0, NruUpdateMode::Scaled);
+        for n in 0..4 {
+            p.observe(addr_in_set(0, n));
+        }
+        // Saturation rule left only line 3's bit set; clear state by a
+        // fresh profiler instead for exactness.
+        let mut p = NruProfiler::new(tiny_geom(), 1, 1.0, NruUpdateMode::Scaled);
+        for n in 0..4 {
+            p.observe(addr_in_set(0, n));
+        }
+        // After the 4 fills, the saturation reset fired on the 4th: only
+        // line 3 has its bit set. Access C (line 2, bit 0 -> no update),
+        // then D (line 3, bit 1, U=2 after C set its bit).
+        p.observe(addr_in_set(0, 2));
+        let before = p.sdh().register(2);
+        p.observe(addr_in_set(0, 3));
+        assert_eq!(p.sdh().register(2) - before, 1, "D estimated at distance 2");
+    }
+
+    #[test]
+    fn nru_used_bit_zero_hits_leave_sdh_unchanged() {
+        let mut p = NruProfiler::new(tiny_geom(), 1, 1.0, NruUpdateMode::Scaled);
+        for n in 0..4 {
+            p.observe(addr_in_set(0, n));
+        }
+        // Only line 3's used bit is set now. A hit on line 0 (bit 0) must
+        // not update any hit register.
+        let hits_before: u64 = (1..=4).map(|d| p.sdh().register(d)).sum();
+        p.observe(addr_in_set(0, 0));
+        let hits_after: u64 = (1..=4).map(|d| p.sdh().register(d)).sum();
+        assert_eq!(hits_before, hits_after);
+    }
+
+    #[test]
+    fn nru_scaling_factor_shrinks_distances() {
+        let geom = CacheGeometry::new(4096, 16, 64).unwrap(); // 4 sets x 16
+        let p1 = NruProfiler::new(geom, 1, 1.0, NruUpdateMode::Scaled);
+        let p075 = NruProfiler::new(geom, 1, 0.75, NruUpdateMode::Scaled);
+        let p05 = NruProfiler::new(geom, 1, 0.5, NruUpdateMode::Scaled);
+        assert_eq!(p1.scaled_distance(8), 8);
+        assert_eq!(p075.scaled_distance(8), 6);
+        assert_eq!(p05.scaled_distance(8), 4);
+        // Paper: "if U = 7, we compute S×U = 3.5 -> 4" at S = 0.5.
+        assert_eq!(p05.scaled_distance(7), 4);
+    }
+
+    #[test]
+    fn nru_smear_mode_updates_prefix_registers() {
+        let mut p = NruProfiler::new(tiny_geom(), 1, 1.0, NruUpdateMode::Smear);
+        for n in 0..4 {
+            p.observe(addr_in_set(0, n));
+        }
+        // Hit line 3 (bit set, U=1): smear increments r1 only.
+        p.observe(addr_in_set(0, 3));
+        assert_eq!(p.sdh().register(1), 1);
+        // Hit line 3 again (U still 1 after saturation bookkeeping).
+        p.observe(addr_in_set(0, 3));
+        assert_eq!(p.sdh().register(1), 2);
+    }
+
+    #[test]
+    fn bt_profiler_figure_4b_example() {
+        // 4-way set; access D (way 3) when the tree bits on its path are
+        // "10": estimated position = 4 - (11 XOR 10) = 3.
+        let mut p = BtProfiler::new(tiny_geom(), 1);
+        for n in 0..4 {
+            p.observe(addr_in_set(0, n));
+        }
+        // Craft the path state: access way 0 sets root=1 (MRU upper); the
+        // node over {C,D} was last set by D's fill (bit 0 = MRU lower).
+        // After fills A,B,C,D then access A: root=1, node(C,D)=0 -> D path
+        // bits = 10.
+        p.observe(addr_in_set(0, 0));
+        let before = p.sdh().register(3);
+        p.observe(addr_in_set(0, 3));
+        assert_eq!(p.sdh().register(3) - before, 1, "D estimated at position 3");
+    }
+
+    #[test]
+    fn bt_estimated_position_bounds() {
+        // Estimated positions are always within [1, A].
+        let geom = CacheGeometry::new(4096, 16, 64).unwrap();
+        let mut p = BtProfiler::new(geom, 1);
+        let mut acc = 3u64;
+        for i in 0..5000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            let set = (acc >> 8) % 4;
+            let line = (acc >> 16) % 40;
+            p.observe(((line << 2) | set) << 6);
+        }
+        // All recorded register indices are within 1..=A+1 by Sdh's
+        // construction; additionally the MRU re-access property holds:
+        for way in 0..16usize {
+            let a = addr_in_set_16(0, way as u64);
+            p.observe(a); // may fill
+            p.observe(a); // immediate re-access = estimated position 1
+        }
+        assert!(p.sdh().register(1) > 0);
+    }
+
+    /// Address helper for the 16-way geometry (4 sets).
+    fn addr_in_set_16(set: usize, n: u64) -> Addr {
+        ((n << 2) | set as u64) << 6
+    }
+
+    #[test]
+    fn sampled_profiler_ignores_unsampled_sets() {
+        let geom = CacheGeometry::new(2 * 1024 * 1024, 16, 128).unwrap();
+        let mut p = LruProfiler::new(geom, 32);
+        // Set 1 is not sampled (1 % 32 != 0).
+        p.observe(1u64 << 7);
+        assert_eq!(p.observed(), 0);
+        assert_eq!(p.sdh().total(), 0);
+        // Set 0 is sampled.
+        p.observe(0);
+        assert_eq!(p.observed(), 1);
+        assert_eq!(p.sdh().total(), 1);
+    }
+
+    #[test]
+    fn dispatch_constructs_all_three() {
+        let geom = tiny_geom();
+        for kind in [PolicyKind::Lru, PolicyKind::Nru, PolicyKind::Bt] {
+            let mut p = ProfilerState::new(kind, geom, 1, 0.75, NruUpdateMode::Scaled);
+            p.observe(addr_in_set(0, 0));
+            assert_eq!(p.sdh().total(), 1);
+            p.decay();
+            p.reset();
+            assert_eq!(p.sdh().total(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn dispatch_rejects_random() {
+        let _ = ProfilerState::new(
+            PolicyKind::Random,
+            tiny_geom(),
+            1,
+            0.75,
+            NruUpdateMode::Scaled,
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Stack Distance Histogram (SDH) registers.
+//!
+//! One SDH per thread: `A + 1` registers (Section II-A). Register `r_d`
+//! (1-based, `d in 1..=A`) counts accesses whose stack distance was `d`;
+//! register `r_{A+1}` counts ATD misses. The miss count of the thread when
+//! given `w` ways is `sum(r_{w+1} ..= r_A) + r_{A+1}` (Figure 2(c)).
+//!
+//! At every interval boundary the registers are halved ("divide all
+//! register contents by 2 … only a right bit shift"), which both prevents
+//! saturation and exponentially ages old behaviour.
+
+use serde::{Deserialize, Serialize};
+
+/// SDH register file for one thread.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sdh {
+    /// `regs[0]` unused; `regs[d]` = distance-`d` count for `d in 1..=A`;
+    /// `regs[A+1]` = miss register.
+    regs: Vec<u64>,
+    assoc: usize,
+}
+
+impl Sdh {
+    /// Zeroed SDH for an `assoc`-way cache.
+    pub fn new(assoc: usize) -> Self {
+        assert!(assoc >= 1);
+        Sdh {
+            regs: vec![0; assoc + 2],
+            assoc,
+        }
+    }
+
+    /// Associativity (`A`).
+    pub fn assoc(&self) -> usize {
+        self.assoc
+    }
+
+    /// Record a hit at stack distance `d` (1-based, clamped to `[1, A]`).
+    #[inline]
+    pub fn record(&mut self, d: usize) {
+        let d = d.clamp(1, self.assoc);
+        self.regs[d] += 1;
+    }
+
+    /// Record an ATD miss (stack distance `A + 1` in the paper's terms).
+    #[inline]
+    pub fn record_miss(&mut self) {
+        self.regs[self.assoc + 1] += 1;
+    }
+
+    /// Raw register value (1-based distance; `assoc + 1` = miss register).
+    pub fn register(&self, d: usize) -> u64 {
+        self.regs[d]
+    }
+
+    /// Total recorded accesses.
+    pub fn total(&self) -> u64 {
+        self.regs.iter().sum()
+    }
+
+    /// Predicted misses if the thread is given `w` ways (`w in 0..=A`):
+    /// every access with stack distance greater than `w` misses.
+    pub fn misses_with_ways(&self, w: usize) -> u64 {
+        let w = w.min(self.assoc);
+        self.regs[w + 1..].iter().sum()
+    }
+
+    /// The full miss curve: `curve[w]` = predicted misses with `w` ways,
+    /// for `w in 0..=A`. Monotonically non-increasing by construction.
+    pub fn miss_curve(&self) -> Vec<u64> {
+        (0..=self.assoc).map(|w| self.misses_with_ways(w)).collect()
+    }
+
+    /// Halve every register (the interval-boundary decay).
+    pub fn decay(&mut self) {
+        for r in &mut self.regs {
+            *r >>= 1;
+        }
+    }
+
+    /// Zero all registers.
+    pub fn reset(&mut self) {
+        self.regs.iter_mut().for_each(|r| *r = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2c_example() {
+        // Figure 2: with registers r1..r5, a thread owning 2 ways suffers
+        // r3 + r4 + r5 misses.
+        let mut s = Sdh::new(4);
+        for (d, n) in [(1usize, 10u64), (2, 5), (3, 3), (4, 2)] {
+            for _ in 0..n {
+                s.record(d);
+            }
+        }
+        for _ in 0..7 {
+            s.record_miss();
+        }
+        assert_eq!(s.misses_with_ways(2), 3 + 2 + 7);
+        assert_eq!(s.misses_with_ways(4), 7, "full cache: only ATD misses");
+        assert_eq!(s.misses_with_ways(0), 27, "no ways: everything misses");
+    }
+
+    #[test]
+    fn miss_curve_is_monotone_non_increasing() {
+        let mut s = Sdh::new(8);
+        for d in 1..=8 {
+            for _ in 0..d {
+                s.record(d);
+            }
+        }
+        s.record_miss();
+        let c = s.miss_curve();
+        assert_eq!(c.len(), 9);
+        for w in 1..c.len() {
+            assert!(c[w] <= c[w - 1]);
+        }
+    }
+
+    #[test]
+    fn distances_clamp_to_range() {
+        let mut s = Sdh::new(4);
+        s.record(0); // clamps to 1
+        s.record(99); // clamps to A
+        assert_eq!(s.register(1), 1);
+        assert_eq!(s.register(4), 1);
+    }
+
+    #[test]
+    fn decay_halves_registers() {
+        let mut s = Sdh::new(4);
+        for _ in 0..10 {
+            s.record(2);
+        }
+        for _ in 0..5 {
+            s.record_miss();
+        }
+        s.decay();
+        assert_eq!(s.register(2), 5);
+        assert_eq!(s.register(5), 2, "miss register decays too (odd halves down)");
+    }
+
+    #[test]
+    fn decay_is_right_shift_semantics() {
+        let mut s = Sdh::new(2);
+        s.record(1);
+        s.decay();
+        assert_eq!(s.register(1), 0, "1 >> 1 == 0");
+    }
+
+    #[test]
+    fn total_counts_everything() {
+        let mut s = Sdh::new(4);
+        s.record(1);
+        s.record(4);
+        s.record_miss();
+        assert_eq!(s.total(), 3);
+    }
+
+    #[test]
+    fn misses_with_excess_ways_saturates() {
+        let mut s = Sdh::new(4);
+        s.record_miss();
+        assert_eq!(s.misses_with_ways(10), 1);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = Sdh::new(4);
+        s.record(3);
+        s.reset();
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut s = Sdh::new(4);
+        s.record(2);
+        let j = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<Sdh>(&j).unwrap(), s);
+    }
+}

@@ -1,0 +1,93 @@
+//! Profiling-logic area: ATD and SDH sizing (Sections I and III).
+
+use crate::complexity::CacheParams;
+use cachesim::PolicyKind;
+
+/// Replacement-metadata bits the ATD stores per line for each policy.
+pub fn atd_line_meta_bits(policy: PolicyKind, params: &CacheParams) -> u64 {
+    match policy {
+        // Stack position: log2(A) bits per line.
+        PolicyKind::Lru => u64::from(params.log2_assoc()),
+        // One used bit per line.
+        PolicyKind::Nru => 1,
+        // A-1 tree bits per *set*, amortised here as ~1 bit/line.
+        PolicyKind::Bt => 1,
+        PolicyKind::Random => 0,
+    }
+}
+
+/// ATD size in bytes for one core: sampled sets x ways x (tag + valid +
+/// replacement metadata).
+pub fn atd_bytes(policy: PolicyKind, params: &CacheParams, sample_ratio: usize) -> u64 {
+    assert!(sample_ratio >= 1);
+    let sampled_sets = (params.num_sets / sample_ratio) as u64;
+    let per_line = u64::from(params.tag_bits) + 1 + atd_line_meta_bits(policy, params);
+    (sampled_sets * params.assoc as u64 * per_line).div_ceil(8)
+}
+
+/// SDH register-file size in bytes: `A + 1` registers of `reg_bits` bits.
+pub fn sdh_bytes(params: &CacheParams, reg_bits: u32) -> u64 {
+    ((params.assoc as u64 + 1) * u64::from(reg_bits)).div_ceil(8)
+}
+
+/// Total profiling-logic bytes for `num_cores` threads.
+pub fn profiling_logic_bytes(
+    policy: PolicyKind,
+    params: &CacheParams,
+    sample_ratio: usize,
+    reg_bits: u32,
+) -> u64 {
+    params.num_cores as u64 * (atd_bytes(policy, params, sample_ratio) + sdh_bytes(params, reg_bits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CacheParams {
+        CacheParams::paper_baseline()
+    }
+
+    #[test]
+    fn sampled_lru_atd_is_about_3_25_kb_per_core() {
+        // Section III: 3.25 KB per core at 1-in-32 sampling (47 tag bits).
+        let b = atd_bytes(PolicyKind::Lru, &p(), 32);
+        // 32 sets x 16 ways x (47+1+4) bits = 3328 B = 3.25 KB.
+        assert_eq!(b, 3328);
+    }
+
+    #[test]
+    fn full_atd_cost_motivates_sampling() {
+        // Section I: the *unsampled* ATD is L1-sized — 1024 x 16 x 52 bits
+        // = 104 KB per core; 8 cores land near the paper's 53,248 B *per
+        // pair* framing. What matters: sampling cuts it 32x.
+        let full = atd_bytes(PolicyKind::Lru, &p(), 1);
+        let sampled = atd_bytes(PolicyKind::Lru, &p(), 32);
+        assert_eq!(full, 32 * sampled);
+        assert!(full > 100 * 1024);
+    }
+
+    #[test]
+    fn nru_and_bt_atds_are_smaller_than_lru() {
+        let lru = atd_bytes(PolicyKind::Lru, &p(), 32);
+        let nru = atd_bytes(PolicyKind::Nru, &p(), 32);
+        let bt = atd_bytes(PolicyKind::Bt, &p(), 32);
+        assert!(nru < lru);
+        assert!(bt < lru);
+    }
+
+    #[test]
+    fn sdh_is_tens_of_bytes() {
+        // 17 registers x 32 bits = 68 bytes.
+        assert_eq!(sdh_bytes(&p(), 32), 68);
+    }
+
+    #[test]
+    fn total_profiling_logic_scales_with_cores() {
+        let two = profiling_logic_bytes(PolicyKind::Nru, &p(), 32, 32);
+        let mut p8 = p();
+        p8.num_cores = 8;
+        let eight = profiling_logic_bytes(PolicyKind::Nru, &p8, 32, 32);
+        assert_eq!(eight, 4 * two);
+    }
+}

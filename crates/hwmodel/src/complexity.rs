@@ -1,0 +1,374 @@
+//! Table I: complexity of the LRU, NRU and BT replacement schemes.
+//!
+//! Part (a) counts the storage bits that serve the replacement logic, with
+//! and without partitioning support; part (b) counts the bits read or
+//! updated on each cache event. The bracketed numbers in the paper
+//! correspond to [`CacheParams::paper_baseline`] (16-way 2 MB L2, 128 B
+//! lines, 2 cores, 47 tag bits).
+//!
+//! Two of the paper's printed numbers disagree with its own formulas; the
+//! formulas are implemented and the discrepancies documented:
+//!
+//! * "find LRU in owned lines" prints 52 bits where `(A-1)*log2(A)` = 60;
+//! * Section V-B says NRU updates "23 bits" where Table I(b)'s
+//!   `(A-1) + log2(A)` = 19.
+
+use cachesim::PolicyKind;
+use serde::{Deserialize, Serialize};
+
+/// Parameters every Table I formula depends on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheParams {
+    /// Associativity `A`.
+    pub assoc: usize,
+    /// Number of sets.
+    pub num_sets: usize,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Number of cores `N`.
+    pub num_cores: usize,
+    /// Tag width in bits.
+    pub tag_bits: u32,
+}
+
+impl CacheParams {
+    /// The header configuration of Table I: 16-way 2 MB L2 with 128 B
+    /// lines, 2 cores, 64-bit architecture with 47 tag bits.
+    pub fn paper_baseline() -> Self {
+        CacheParams {
+            assoc: 16,
+            num_sets: 1024,
+            line_bytes: 128,
+            num_cores: 2,
+            tag_bits: 47,
+        }
+    }
+
+    /// `log2(A)`.
+    pub fn log2_assoc(&self) -> u32 {
+        debug_assert!(self.assoc.is_power_of_two());
+        self.assoc.trailing_zeros()
+    }
+}
+
+/// Storage costs of one policy (Table I(a)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplacementCosts {
+    /// Replacement bits per set.
+    pub bits_per_set: u64,
+    /// Global bits shared by the whole cache (replacement pointer, masks,
+    /// up/down vectors) — *not* multiplied by the set count.
+    pub global_bits: u64,
+}
+
+impl ReplacementCosts {
+    /// Total storage for `num_sets` sets, in bits.
+    pub fn total_bits(&self, num_sets: usize) -> u64 {
+        self.bits_per_set * num_sets as u64 + self.global_bits
+    }
+
+    /// Total storage rounded to bytes.
+    pub fn total_bytes(&self, num_sets: usize) -> u64 {
+        self.total_bits(num_sets).div_ceil(8)
+    }
+}
+
+/// Per-event activity of one policy (Table I(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCosts {
+    /// Tag comparison on every access: `A * tag_bits`.
+    pub tag_compare_bits: u64,
+    /// Worst-case replacement-state update without partitioning.
+    pub update_unpartitioned_bits: u64,
+    /// Worst-case replacement-state update with partitioning enabled.
+    pub update_partitioned_bits: u64,
+    /// Data read on a hit: the line size.
+    pub hit_data_bits: u64,
+    /// Profiling-logic work per ATD access (read / estimate the stack
+    /// distance).
+    pub profiling_bits: u64,
+}
+
+/// Storage costs of a policy with and without partitioning support.
+pub fn replacement_costs(
+    policy: PolicyKind,
+    p: &CacheParams,
+    partitioned: bool,
+) -> ReplacementCosts {
+    let a = p.assoc as u64;
+    let n = p.num_cores as u64;
+    let lg = u64::from(p.log2_assoc());
+    match policy {
+        // LRU: A*log2(A) bits/set; + A*N owner-mask bits with global masks.
+        PolicyKind::Lru => ReplacementCosts {
+            bits_per_set: a * lg,
+            global_bits: if partitioned { a * n } else { 0 },
+        },
+        // NRU: A used bits/set + the one global log2(A) pointer; + A*N
+        // mask bits with partitioning.
+        PolicyKind::Nru => ReplacementCosts {
+            bits_per_set: a,
+            global_bits: lg + if partitioned { a * n } else { 0 },
+        },
+        // BT: A-1 tree bits/set; + log2(A) up and log2(A) down bits per
+        // core with partitioning.
+        PolicyKind::Bt => ReplacementCosts {
+            bits_per_set: a - 1,
+            global_bits: if partitioned { 2 * lg * n } else { 0 },
+        },
+        // Random: no replacement state at all (reference).
+        PolicyKind::Random => ReplacementCosts {
+            bits_per_set: 0,
+            global_bits: 0,
+        },
+    }
+}
+
+/// Per-event activity of a policy (Table I(b)).
+pub fn event_costs(policy: PolicyKind, p: &CacheParams) -> EventCosts {
+    let a = p.assoc as u64;
+    let n = p.num_cores as u64;
+    let lg = u64::from(p.log2_assoc());
+    let line_bits = u64::from(p.line_bytes) * 8;
+    let tag = a * u64::from(p.tag_bits);
+    match policy {
+        PolicyKind::Lru => EventCosts {
+            tag_compare_bits: tag,
+            // Worst case: every line's position shifts.
+            update_unpartitioned_bits: a * lg,
+            // Find owned lines (N*A) + find LRU among owned ((A-1)*log2A).
+            update_partitioned_bits: n * a + (a - 1) * lg,
+            hit_data_bits: line_bits,
+            // Read the accessed line's log2(A) LRU bits.
+            profiling_bits: lg,
+        },
+        PolicyKind::Nru => EventCosts {
+            tag_compare_bits: tag,
+            // Worst case: all used bits reset except one + pointer rotate.
+            update_unpartitioned_bits: (a - 1) + lg,
+            // Masks add the N*A owned-line lookup.
+            update_partitioned_bits: n * a + (a - 1) + lg,
+            hit_data_bits: line_bits,
+            // Count the A used bits of the set.
+            profiling_bits: a,
+        },
+        PolicyKind::Bt => EventCosts {
+            tag_compare_bits: tag,
+            // log2(A) tree bits flip on any access.
+            update_unpartitioned_bits: lg,
+            // Tree bits + up vector + down vector (no owned-line scan: the
+            // vectors already encode the partition).
+            update_partitioned_bits: lg + lg + lg,
+            hit_data_bits: line_bits,
+            // XOR of 2*log2(A) operand bits + subtract of 2*log2(A).
+            profiling_bits: 2 * lg + 2 * lg,
+        },
+        PolicyKind::Random => EventCosts {
+            tag_compare_bits: tag,
+            update_unpartitioned_bits: 0,
+            update_partitioned_bits: n * a,
+            hit_data_bits: line_bits,
+            profiling_bits: 0,
+        },
+    }
+}
+
+/// One row of the rendered Table I.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComplexityRow {
+    /// Policy name.
+    pub policy: String,
+    /// Storage without partitioning.
+    pub storage_plain: ReplacementCosts,
+    /// Storage with global-mask/vector partitioning.
+    pub storage_partitioned: ReplacementCosts,
+    /// Event activity.
+    pub events: EventCosts,
+}
+
+/// The full Table I for a parameter set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComplexityTable {
+    /// Parameters the table was computed for.
+    pub params: CacheParams,
+    /// LRU / NRU / BT rows.
+    pub rows: Vec<ComplexityRow>,
+}
+
+impl ComplexityTable {
+    /// Compute the table.
+    pub fn compute(params: CacheParams) -> Self {
+        let rows = [PolicyKind::Lru, PolicyKind::Nru, PolicyKind::Bt]
+            .into_iter()
+            .map(|k| ComplexityRow {
+                policy: match k {
+                    PolicyKind::Lru => "LRU".into(),
+                    PolicyKind::Nru => "NRU".into(),
+                    PolicyKind::Bt => "BT".into(),
+                    PolicyKind::Random => "Random".into(),
+                },
+                storage_plain: replacement_costs(k, &params, false),
+                storage_partitioned: replacement_costs(k, &params, true),
+                events: event_costs(k, &params),
+            })
+            .collect();
+        ComplexityTable { params, rows }
+    }
+
+    /// Render as an aligned text table (the `table1` binary's output).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let p = &self.params;
+        s.push_str(&format!(
+            "Table I — complexity for A={} ways, {} sets, {}B lines, N={} cores, {} tag bits\n\n",
+            p.assoc, p.num_sets, p.line_bytes, p.num_cores, p.tag_bits
+        ));
+        s.push_str("(a) storage serving the replacement logic\n");
+        s.push_str(&format!(
+            "{:<6} {:>14} {:>16} {:>18} {:>20}\n",
+            "policy", "bits/set", "KB (no part.)", "global bits (part.)", "KB (partitioned)"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<6} {:>14} {:>16.3} {:>18} {:>20.3}\n",
+                r.policy,
+                r.storage_plain.bits_per_set,
+                r.storage_plain.total_bytes(p.num_sets) as f64 / 1024.0,
+                r.storage_partitioned.global_bits,
+                r.storage_partitioned.total_bytes(p.num_sets) as f64 / 1024.0,
+            ));
+        }
+        s.push_str("\n(b) bits read/updated per event\n");
+        s.push_str(&format!(
+            "{:<6} {:>10} {:>16} {:>16} {:>12} {:>12}\n",
+            "policy", "tag cmp", "update (plain)", "update (part.)", "hit data", "profiling"
+        ));
+        for r in &self.rows {
+            s.push_str(&format!(
+                "{:<6} {:>10} {:>16} {:>16} {:>12} {:>12}\n",
+                r.policy,
+                r.events.tag_compare_bits,
+                r.events.update_unpartitioned_bits,
+                r.events.update_partitioned_bits,
+                r.events.hit_data_bits,
+                r.events.profiling_bits,
+            ));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> CacheParams {
+        CacheParams::paper_baseline()
+    }
+
+    #[test]
+    fn lru_storage_is_8kb() {
+        // Table I(a): A*log2(A) = 64 bits/set -> 8 KB for 1024 sets.
+        let c = replacement_costs(PolicyKind::Lru, &p(), false);
+        assert_eq!(c.bits_per_set, 64);
+        assert_eq!(c.total_bytes(1024), 8 * 1024);
+    }
+
+    #[test]
+    fn nru_storage_is_2kb_plus_pointer() {
+        let c = replacement_costs(PolicyKind::Nru, &p(), false);
+        assert_eq!(c.bits_per_set, 16);
+        assert_eq!(c.global_bits, 4);
+        assert_eq!(c.total_bytes(1024), 2 * 1024 + 1); // 2 KB + pointer byte
+    }
+
+    #[test]
+    fn bt_storage_is_1_875_kb() {
+        let c = replacement_costs(PolicyKind::Bt, &p(), false);
+        assert_eq!(c.bits_per_set, 15);
+        assert_eq!(c.total_bits(1024), 15 * 1024);
+        assert_eq!(c.total_bytes(1024), 1920); // = 1.875 KB
+    }
+
+    #[test]
+    fn partitioning_adds_masks_and_vectors() {
+        let lru = replacement_costs(PolicyKind::Lru, &p(), true);
+        assert_eq!(lru.global_bits, 32, "A*N owner mask bits");
+        let nru = replacement_costs(PolicyKind::Nru, &p(), true);
+        assert_eq!(nru.global_bits, 4 + 32);
+        let bt = replacement_costs(PolicyKind::Bt, &p(), true);
+        assert_eq!(bt.global_bits, 16, "log2(A) up + down per core, 2 cores");
+    }
+
+    #[test]
+    fn tag_compare_is_752_bits() {
+        for k in [PolicyKind::Lru, PolicyKind::Nru, PolicyKind::Bt] {
+            assert_eq!(event_costs(k, &p()).tag_compare_bits, 752);
+        }
+    }
+
+    #[test]
+    fn unpartitioned_update_costs_match_table() {
+        assert_eq!(event_costs(PolicyKind::Lru, &p()).update_unpartitioned_bits, 64);
+        assert_eq!(
+            event_costs(PolicyKind::Nru, &p()).update_unpartitioned_bits,
+            15 + 4
+        );
+        assert_eq!(event_costs(PolicyKind::Bt, &p()).update_unpartitioned_bits, 4);
+    }
+
+    #[test]
+    fn partitioned_update_costs() {
+        // LRU: N*A (32) + (A-1)*log2(A) (=60; the paper prints 52).
+        assert_eq!(
+            event_costs(PolicyKind::Lru, &p()).update_partitioned_bits,
+            32 + 60
+        );
+        // NRU: N*A + (A-1) + log2(A).
+        assert_eq!(
+            event_costs(PolicyKind::Nru, &p()).update_partitioned_bits,
+            32 + 15 + 4
+        );
+        // BT: 3 * log2(A) — no owned-line scan needed.
+        assert_eq!(event_costs(PolicyKind::Bt, &p()).update_partitioned_bits, 12);
+    }
+
+    #[test]
+    fn hit_reads_the_1024_bit_line() {
+        assert_eq!(event_costs(PolicyKind::Lru, &p()).hit_data_bits, 1024);
+    }
+
+    #[test]
+    fn profiling_costs_match_table() {
+        assert_eq!(event_costs(PolicyKind::Lru, &p()).profiling_bits, 4);
+        assert_eq!(event_costs(PolicyKind::Nru, &p()).profiling_bits, 16);
+        assert_eq!(event_costs(PolicyKind::Bt, &p()).profiling_bits, 16);
+    }
+
+    #[test]
+    fn bt_partitioned_update_is_cheapest() {
+        let lru = event_costs(PolicyKind::Lru, &p()).update_partitioned_bits;
+        let nru = event_costs(PolicyKind::Nru, &p()).update_partitioned_bits;
+        let bt = event_costs(PolicyKind::Bt, &p()).update_partitioned_bits;
+        assert!(bt < nru && nru < lru, "the paper's complexity ordering");
+    }
+
+    #[test]
+    fn table_renders_all_three_rows() {
+        let t = ComplexityTable::compute(p());
+        let out = t.render();
+        assert!(out.contains("LRU"));
+        assert!(out.contains("NRU"));
+        assert!(out.contains("BT"));
+        assert!(out.contains("8.000"), "LRU 8 KB visible: {out}");
+        assert!(out.contains("1.875"), "BT 1.875 KB visible");
+    }
+
+    #[test]
+    fn scales_with_other_core_counts() {
+        let mut p8 = p();
+        p8.num_cores = 8;
+        let lru = replacement_costs(PolicyKind::Lru, &p8, true);
+        assert_eq!(lru.global_bits, 128);
+    }
+}

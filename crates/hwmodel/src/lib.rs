@@ -1,0 +1,18 @@
+//! # hwmodel — analytic hardware cost and power models
+//!
+//! Three models accompany the simulator:
+//!
+//! * [`complexity`] — the bit-level storage and per-event activity formulas
+//!   of the paper's Table I for LRU, NRU and BT, with and without
+//!   partitioning support;
+//! * [`area`] — ATD/profiling-logic sizing (Sections I and III);
+//! * [`power`] — the Figure 9 power and energy model: core + L2 + main
+//!   memory, with the paper's constant that one memory access costs 150x
+//!   an L2 access.
+
+pub mod area;
+pub mod complexity;
+pub mod power;
+
+pub use complexity::{CacheParams, ComplexityTable, EventCosts, ReplacementCosts};
+pub use power::{PowerBreakdown, PowerConfig, PowerModel, RunActivity};

@@ -1,0 +1,230 @@
+//! The Figure 9 power and energy model.
+//!
+//! The paper models leakage and dynamic power of the cores and L2 plus the
+//! dynamic power of main memory, with one anchor constant: "the energy
+//! cost of a memory access is 150 times higher than an access to L2"
+//! (Section IV, citing Borkar). Figure 9's finding is structural: the only
+//! difference between the configurations is the L2
+//! replacement/partitioning logic, so power differences are driven almost
+//! entirely by off-chip accesses, and the profiling logic itself stays
+//! below 0.3% of total power.
+//!
+//! Energy units are arbitrary (everything is reported relative to the C-L
+//! baseline); the defaults put a 2-core miss-heavy run at roughly 55%
+//! cores / 15% L2 / 30% memory, matching the flavour of Figure 9(b).
+
+use serde::{Deserialize, Serialize};
+
+/// Energy/power constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Dynamic energy per committed instruction, per core.
+    pub core_dynamic_per_inst: f64,
+    /// Leakage power per cycle, per core.
+    pub core_leakage_per_cycle: f64,
+    /// Dynamic energy per L2 access.
+    pub l2_dynamic_per_access: f64,
+    /// Leakage power per cycle of the L2 array.
+    pub l2_leakage_per_cycle: f64,
+    /// Dynamic energy per main-memory access, as a multiple of
+    /// `l2_dynamic_per_access` (the paper's 150x).
+    pub memory_access_factor: f64,
+    /// Dynamic energy per ATD probe (tag-only structure, a small fraction
+    /// of a full L2 access).
+    pub atd_dynamic_per_access: f64,
+    /// Leakage power per cycle of the whole profiling logic (ATDs + SDHs).
+    pub profiling_leakage_per_cycle: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            core_dynamic_per_inst: 8.0,
+            core_leakage_per_cycle: 2.0,
+            l2_dynamic_per_access: 4.0,
+            l2_leakage_per_cycle: 1.5,
+            memory_access_factor: 150.0,
+            atd_dynamic_per_access: 0.25,
+            profiling_leakage_per_cycle: 0.008,
+        }
+    }
+}
+
+/// Activity counters of one simulation run, as consumed by the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunActivity {
+    /// Wall-clock cycles of the run.
+    pub cycles: u64,
+    /// Committed instructions, summed over cores.
+    pub insts: u64,
+    /// Number of cores.
+    pub num_cores: usize,
+    /// Shared-L2 accesses.
+    pub l2_accesses: u64,
+    /// Shared-L2 misses (= main-memory accesses; writebacks not modelled).
+    pub l2_misses: u64,
+    /// ATD probes of the profiling logic (0 when no CPA runs).
+    pub atd_accesses: u64,
+}
+
+/// Power split by component (energies per cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Cores: dynamic + leakage.
+    pub cores: f64,
+    /// L2: dynamic + leakage.
+    pub l2: f64,
+    /// Main memory: dynamic only.
+    pub memory: f64,
+    /// Profiling logic (ATDs + SDHs): dynamic + leakage.
+    pub profiling: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power.
+    pub fn total(&self) -> f64 {
+        self.cores + self.l2 + self.memory + self.profiling
+    }
+
+    /// Profiling power as a fraction of total.
+    pub fn profiling_fraction(&self) -> f64 {
+        self.profiling / self.total()
+    }
+}
+
+/// The analytic model.
+#[derive(Debug, Clone, Default)]
+pub struct PowerModel {
+    cfg: PowerConfig,
+}
+
+impl PowerModel {
+    /// Model with explicit constants.
+    pub fn new(cfg: PowerConfig) -> Self {
+        PowerModel { cfg }
+    }
+
+    /// Average power of a run, by component.
+    pub fn power(&self, run: &RunActivity) -> PowerBreakdown {
+        assert!(run.cycles > 0, "run must have executed");
+        let c = &self.cfg;
+        let cyc = run.cycles as f64;
+        let cores = (run.insts as f64 * c.core_dynamic_per_inst) / cyc
+            + run.num_cores as f64 * c.core_leakage_per_cycle;
+        let l2 =
+            (run.l2_accesses as f64 * c.l2_dynamic_per_access) / cyc + c.l2_leakage_per_cycle;
+        let memory = (run.l2_misses as f64 * c.l2_dynamic_per_access * c.memory_access_factor)
+            / cyc;
+        let profiling = if run.atd_accesses > 0 {
+            (run.atd_accesses as f64 * c.atd_dynamic_per_access) / cyc
+                + run.num_cores as f64 * c.profiling_leakage_per_cycle
+        } else {
+            0.0
+        };
+        PowerBreakdown {
+            cores,
+            l2,
+            memory,
+            profiling,
+        }
+    }
+
+    /// The paper's relative-energy metric: CPI x Power (energy per
+    /// committed instruction).
+    pub fn energy_per_inst(&self, run: &RunActivity) -> f64 {
+        let cpi = run.cycles as f64 / run.insts as f64;
+        cpi * self.power(run).total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_run() -> RunActivity {
+        RunActivity {
+            cycles: 4_000_000,
+            insts: 4_000_000,
+            num_cores: 2,
+            l2_accesses: 400_000,
+            l2_misses: 40_000,
+            atd_accesses: 12_000,
+        }
+    }
+
+    #[test]
+    fn memory_power_uses_the_150x_factor() {
+        let m = PowerModel::default();
+        let run = base_run();
+        let p = m.power(&run);
+        let expect =
+            run.l2_misses as f64 * 4.0 * 150.0 / run.cycles as f64;
+        assert!((p.memory - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_misses_mean_more_power_and_energy() {
+        let m = PowerModel::default();
+        let mut bad = base_run();
+        bad.l2_misses *= 3;
+        assert!(m.power(&bad).total() > m.power(&base_run()).total());
+        assert!(m.energy_per_inst(&bad) > m.energy_per_inst(&base_run()));
+    }
+
+    #[test]
+    fn slower_run_with_same_work_costs_more_energy() {
+        // Same instructions, more cycles: leakage accumulates.
+        let m = PowerModel::default();
+        let mut slow = base_run();
+        slow.cycles *= 2;
+        assert!(m.energy_per_inst(&slow) > m.energy_per_inst(&base_run()));
+    }
+
+    #[test]
+    fn profiling_power_stays_below_0_3_percent() {
+        // The paper's claim, for realistic activity ratios (ATD probes =
+        // L2 accesses / 32 per the sampling).
+        let m = PowerModel::default();
+        let p = m.power(&base_run());
+        assert!(
+            p.profiling_fraction() < 0.003,
+            "profiling fraction {}",
+            p.profiling_fraction()
+        );
+    }
+
+    #[test]
+    fn no_cpa_means_no_profiling_power() {
+        let m = PowerModel::default();
+        let mut run = base_run();
+        run.atd_accesses = 0;
+        assert_eq!(m.power(&run).profiling, 0.0);
+    }
+
+    #[test]
+    fn component_shares_are_plausible() {
+        // Miss-heavy 2-core run: cores dominate, memory a strong second.
+        let m = PowerModel::default();
+        let p = m.power(&base_run());
+        let t = p.total();
+        assert!(p.cores / t > 0.35, "cores {}", p.cores / t);
+        assert!(p.memory / t > 0.1 && p.memory / t < 0.6);
+        assert!(p.l2 / t < 0.3);
+    }
+
+    #[test]
+    fn breakdown_total_is_sum() {
+        let m = PowerModel::default();
+        let p = m.power(&base_run());
+        assert!((p.total() - (p.cores + p.l2 + p.memory + p.profiling)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cycle_run_rejected() {
+        let m = PowerModel::default();
+        let mut run = base_run();
+        run.cycles = 0;
+        let _ = m.power(&run);
+    }
+}

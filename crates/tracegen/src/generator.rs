@@ -1,0 +1,317 @@
+//! The seeded trace generator.
+
+use crate::benchmark::BenchmarkProfile;
+use crate::component::Component;
+use crate::record::MemRecord;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Line size assumed by region layout (the paper's machine: 128 B).
+pub const LINE_BYTES: u64 = 128;
+
+/// Address-space slot size per component, in lines. Regions of different
+/// components never overlap; components with the same index share a base
+/// across phases, so phase changes partially reuse data (as SimPoint phases
+/// of a real benchmark do).
+const COMPONENT_SLOT_LINES: u64 = 1 << 28;
+
+/// Base line number of the streaming (Fresh) frontier.
+const FRESH_BASE_LINE: u64 = 1 << 40;
+
+/// Deterministic, seeded generator of one benchmark's memory-access trace.
+///
+/// The generator is an infinite stream: traces wrap through their phase
+/// schedule for as long as the simulator keeps pulling records (the paper
+/// keeps finished threads running so contention stays realistic).
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: BenchmarkProfile,
+    rng: StdRng,
+    /// Committed instructions so far.
+    insts: u64,
+    /// Current phase index and instructions remaining in it.
+    phase: usize,
+    phase_insts_left: u64,
+    /// Per-component sequential cursors, indexed like the mixture parts of
+    /// the current phase.
+    seq_cursors: Vec<u64>,
+    /// Per-component LRU stacks for `StackGeom` components, lazily built.
+    stacks: Vec<Option<Vec<u32>>>,
+    /// Streaming frontier (next fresh line).
+    fresh_next: u64,
+    /// Precomputed geometric-gap parameter `ln(1 - p)`.
+    ln_one_minus_p: f64,
+}
+
+impl TraceGenerator {
+    /// Build a generator for `profile` with a fixed `seed`.
+    pub fn new(profile: BenchmarkProfile, seed: u64) -> Self {
+        assert!(!profile.phases.is_empty());
+        let p = profile.mem_ratio;
+        let first_len = profile.phases[0].insts;
+        let n_parts = profile
+            .phases
+            .iter()
+            .map(|ph| ph.mixture.parts.len())
+            .max()
+            .unwrap();
+        TraceGenerator {
+            rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            insts: 0,
+            phase: 0,
+            phase_insts_left: first_len,
+            seq_cursors: vec![0; n_parts],
+            stacks: vec![None; n_parts],
+            fresh_next: FRESH_BASE_LINE,
+            ln_one_minus_p: (1.0 - p).ln(),
+            profile,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &BenchmarkProfile {
+        &self.profile
+    }
+
+    /// Committed instructions accounted for so far.
+    pub fn instructions(&self) -> u64 {
+        self.insts
+    }
+
+    /// Index of the active phase.
+    pub fn current_phase(&self) -> usize {
+        self.phase
+    }
+
+    /// Sample a geometric instruction gap with mean `(1-p)/p`, capped so a
+    /// single record never spans more than 10 000 instructions.
+    fn sample_gap(&mut self) -> u32 {
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        // Number of Bernoulli(p) failures before the first success.
+        let g = ((1.0 - u).ln() / self.ln_one_minus_p).floor();
+        g.min(10_000.0) as u32
+    }
+
+    fn advance_phase(&mut self, insts: u64) {
+        self.insts += insts;
+        let mut left = insts;
+        while left >= self.phase_insts_left {
+            left -= self.phase_insts_left;
+            self.phase = (self.phase + 1) % self.profile.phases.len();
+            self.phase_insts_left = self.profile.phases[self.phase].insts;
+        }
+        self.phase_insts_left -= left;
+    }
+
+    /// Produce the next memory access record.
+    pub fn next_record(&mut self) -> MemRecord {
+        let gap = self.sample_gap();
+        self.advance_phase(u64::from(gap) + 1);
+
+        let mixture = &self.profile.phases[self.phase].mixture;
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let part = mixture.select(u);
+        let component = mixture.parts[part].1;
+
+        let line = match component {
+            Component::Sequential { lines } => {
+                let cursor = &mut self.seq_cursors[part];
+                let l = (part as u64 + 1) * COMPONENT_SLOT_LINES + (*cursor % lines);
+                *cursor = cursor.wrapping_add(1);
+                l
+            }
+            Component::RandomIn { lines } => {
+                let off = self.rng.gen_range(0..lines);
+                (part as u64 + 1) * COMPONENT_SLOT_LINES + off
+            }
+            Component::StackGeom { lines, mean } => {
+                let entry = &mut self.stacks[part];
+                let stack = match entry {
+                    // Rebuild if a phase switch changed the region size.
+                    Some(s) if s.len() == lines as usize => s,
+                    _ => entry.insert((0..lines as u32).collect()),
+                };
+                // Geometric reuse depth with the given mean, capped at the
+                // stack size.
+                let u: f64 = self.rng.gen_range(0.0..1.0);
+                let p = 1.0 / mean.max(1.0);
+                let d = ((1.0 - u).ln() / (1.0 - p).ln()) as usize;
+                let d = d.min(stack.len() - 1);
+                let line = stack[d];
+                // Move-to-front: the touched line becomes depth 0.
+                stack.copy_within(0..d, 1);
+                stack[0] = line;
+                (part as u64 + 1) * COMPONENT_SLOT_LINES + u64::from(line)
+            }
+            Component::Fresh => {
+                let l = self.fresh_next;
+                self.fresh_next += 1;
+                l
+            }
+        };
+        let is_write = self.rng.gen_bool(self.profile.write_frac);
+        MemRecord {
+            gap,
+            addr: line * LINE_BYTES,
+            is_write,
+        }
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = MemRecord;
+
+    fn next(&mut self) -> Option<MemRecord> {
+        Some(self.next_record())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmark::benchmark;
+
+    fn gen(name: &str, seed: u64) -> TraceGenerator {
+        TraceGenerator::new(benchmark(name).unwrap(), seed)
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let a: Vec<_> = gen("mcf", 7).take(500).collect();
+        let b: Vec<_> = gen("mcf", 7).take(500).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<_> = gen("mcf", 7).take(100).collect();
+        let b: Vec<_> = gen("mcf", 8).take(100).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn mem_ratio_is_respected() {
+        let mut g = gen("art", 3); // mem_ratio 0.40
+        let n = 50_000;
+        let mut insts = 0u64;
+        for _ in 0..n {
+            insts += g.next_record().instructions();
+        }
+        let ratio = n as f64 / insts as f64;
+        assert!(
+            (ratio - 0.40).abs() < 0.02,
+            "measured mem ratio {ratio}, expected ~0.40"
+        );
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let mut g = gen("swim", 11); // write_frac 0.30
+        let n = 50_000;
+        let writes = (0..n).filter(|_| g.next_record().is_write).count();
+        let frac = writes as f64 / n as f64;
+        assert!((frac - 0.30).abs() < 0.02, "write frac {frac}");
+    }
+
+    #[test]
+    fn fresh_lines_never_repeat() {
+        let mut g = gen("swim", 5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..20_000 {
+            let r = g.next_record();
+            let line = r.addr / LINE_BYTES;
+            if line >= FRESH_BASE_LINE {
+                assert!(seen.insert(line), "fresh line repeated");
+            }
+        }
+        assert!(!seen.is_empty(), "swim must stream");
+    }
+
+    #[test]
+    fn sequential_component_sweeps_cyclically() {
+        // swim's streaming region (component index 1) is 30000 lines;
+        // collect its addresses and check they walk 0,1,2,... modulo the
+        // region.
+        let mut g = gen("swim", 9);
+        let mut seq_lines = Vec::new();
+        for _ in 0..60_000 {
+            let r = g.next_record();
+            let line = r.addr / LINE_BYTES;
+            let slot = line / COMPONENT_SLOT_LINES;
+            if slot == 2 {
+                // component index 1 (the Sequential part of swim)
+                seq_lines.push(line % COMPONENT_SLOT_LINES);
+            }
+        }
+        assert!(seq_lines.len() > 100);
+        for w in seq_lines.windows(2) {
+            let expect = (w[0] + 1) % 30000;
+            assert_eq!(w[1], expect, "sequential sweep must be cyclic");
+        }
+    }
+
+    #[test]
+    fn stack_geom_depths_are_recency_skewed() {
+        // crafty's mid component is StackGeom: immediately re-referenced
+        // lines must dominate. Measure the re-reference gap distribution
+        // in the component's slot.
+        let mut g = gen("crafty", 4);
+        let mut last_seen = std::collections::HashMap::new();
+        let mut gaps = Vec::new();
+        let mut t = 0u64;
+        for _ in 0..120_000 {
+            let r = g.next_record();
+            let line = r.addr / LINE_BYTES;
+            if line / COMPONENT_SLOT_LINES == 2 {
+                if let Some(prev) = last_seen.insert(line, t) {
+                    gaps.push(t - prev);
+                }
+                t += 1;
+            }
+        }
+        assert!(gaps.len() > 1000);
+        let short = gaps.iter().filter(|&&g| g < 900).count();
+        assert!(
+            short * 2 > gaps.len(),
+            "recency skew missing: {}/{} short gaps",
+            short,
+            gaps.len()
+        );
+    }
+
+    #[test]
+    fn phases_cycle() {
+        let mut g = gen("gzip", 1); // two phases of 350k insts each
+        assert_eq!(g.current_phase(), 0);
+        while g.instructions() < 360_000 {
+            g.next_record();
+        }
+        assert_eq!(g.current_phase(), 1);
+        while g.instructions() < 710_000 {
+            g.next_record();
+        }
+        assert_eq!(g.current_phase(), 0, "phases wrap around");
+    }
+
+    #[test]
+    fn components_live_in_disjoint_regions() {
+        let mut g = gen("mcf", 2);
+        let mut slots = std::collections::HashSet::new();
+        for _ in 0..30_000 {
+            let r = g.next_record();
+            slots.insert((r.addr / LINE_BYTES) / COMPONENT_SLOT_LINES);
+        }
+        // mcf has 4 components: 3 region slots + the fresh frontier.
+        assert!(slots.len() >= 4, "found slots {slots:?}");
+    }
+
+    #[test]
+    fn instruction_count_accumulates() {
+        let mut g = gen("eon", 4);
+        let mut total = 0;
+        for _ in 0..1000 {
+            total += g.next_record().instructions();
+        }
+        assert_eq!(g.instructions(), total);
+    }
+}

@@ -1,0 +1,210 @@
+//! The paper's Table II workload list: 24 two-thread, 14 four-thread and 11
+//! eight-thread multiprogrammed workloads over SPEC CPU 2000 benchmarks.
+//!
+//! Some eight-thread entries repeat a benchmark (e.g. `8T_04` runs facerec
+//! twice) — the paper's table does exactly that; duplicated instances get
+//! distinct trace seeds so they are not lock-stepped.
+
+use crate::benchmark::{benchmark, BenchmarkProfile};
+use serde::{Deserialize, Serialize};
+
+/// One multiprogrammed workload: a name like `"2T_07"` plus its benchmarks.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Table II identifier (e.g. `"4T_10"`).
+    pub name: String,
+    /// Benchmark names, one per thread/core.
+    pub benchmarks: Vec<String>,
+}
+
+impl Workload {
+    /// Number of threads (= cores) in the workload.
+    pub fn threads(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// Resolve the benchmark profiles. Panics if a name is unknown —
+    /// construction from [`all_workloads`] guarantees it never does.
+    pub fn profiles(&self) -> Vec<BenchmarkProfile> {
+        self.benchmarks
+            .iter()
+            .map(|b| benchmark(b).unwrap_or_else(|| panic!("unknown benchmark {b}")))
+            .collect()
+    }
+}
+
+fn wl(name: &str, benchmarks: &[&str]) -> Workload {
+    Workload {
+        name: name.to_string(),
+        benchmarks: benchmarks.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// All 49 workloads of Table II in table order.
+pub fn all_workloads() -> Vec<Workload> {
+    vec![
+        // --- two-thread workloads -----------------------------------
+        wl("2T_01", &["apsi", "bzip2"]),
+        wl("2T_02", &["mcf", "parser"]),
+        wl("2T_03", &["twolf", "vortex"]),
+        wl("2T_04", &["vpr", "art"]),
+        wl("2T_05", &["apsi", "crafty"]),
+        wl("2T_06", &["bzip2", "eon"]),
+        wl("2T_07", &["mcf", "gcc"]),
+        wl("2T_08", &["parser", "gzip"]),
+        wl("2T_09", &["applu", "gap"]),
+        wl("2T_10", &["lucas", "sixtrack"]),
+        wl("2T_11", &["facerec", "wupwise"]),
+        wl("2T_12", &["galgel", "facerec"]),
+        wl("2T_13", &["applu", "apsi"]),
+        wl("2T_14", &["gap", "bzip2"]),
+        wl("2T_15", &["lucas", "mcf"]),
+        wl("2T_16", &["sixtrack", "parser"]),
+        wl("2T_17", &["applu", "crafty"]),
+        wl("2T_18", &["gap", "eon"]),
+        wl("2T_19", &["lucas", "gcc"]),
+        wl("2T_20", &["sixtrack", "gzip"]),
+        wl("2T_21", &["crafty", "eon"]),
+        wl("2T_22", &["gcc", "gzip"]),
+        wl("2T_23", &["mesa", "perlbmk"]),
+        wl("2T_24", &["equake", "mgrid"]),
+        // --- four-thread workloads ----------------------------------
+        wl("4T_01", &["apsi", "bzip2", "mcf", "parser"]),
+        wl("4T_02", &["parser", "twolf", "vortex", "vpr"]),
+        wl("4T_03", &["apsi", "crafty", "bzip2", "eon"]),
+        wl("4T_04", &["mcf", "gcc", "parser", "gzip"]),
+        wl("4T_05", &["applu", "gap", "lucas", "sixtrack"]),
+        wl("4T_06", &["lucas", "galgel", "facerec", "wupwise"]),
+        wl("4T_07", &["applu", "apsi", "gap", "bzip2"]),
+        wl("4T_08", &["lucas", "mcf", "sixtrack", "parser"]),
+        wl("4T_09", &["vpr", "wupwise", "gzip", "crafty"]),
+        wl("4T_10", &["fma3d", "swim", "mcf", "applu"]),
+        wl("4T_11", &["applu", "crafty", "gap", "eon"]),
+        wl("4T_12", &["lucas", "gcc", "sixtrack", "gzip"]),
+        wl("4T_13", &["crafty", "eon", "gcc", "gzip"]),
+        wl("4T_14", &["mesa", "perl", "equake", "mgrid"]),
+        // --- eight-thread workloads ---------------------------------
+        wl(
+            "8T_01",
+            &["apsi", "bzip2", "mcf", "parser", "twolf", "swim", "vpr", "art"],
+        ),
+        wl(
+            "8T_02",
+            &["apsi", "crafty", "bzip2", "eon", "mcf", "gcc", "parser", "gzip"],
+        ),
+        wl(
+            "8T_03",
+            &["twolf", "mesa", "vortex", "perl", "vpr", "equake", "art", "mgrid"],
+        ),
+        wl(
+            "8T_04",
+            &["applu", "gap", "lucas", "sixtrack", "facerec", "wupwise", "galgel", "facerec"],
+        ),
+        wl(
+            "8T_05",
+            &["applu", "apsi", "gap", "bzip2", "lucas", "mcf", "sixtrack", "parser"],
+        ),
+        wl(
+            "8T_06",
+            &["lucas", "mcf", "sixtrack", "parser", "facerec", "twolf", "wupwise", "art"],
+        ),
+        wl(
+            "8T_07",
+            &["galgel", "vpr", "twolf", "apsi", "art", "swim", "parser", "wupwise"],
+        ),
+        wl(
+            "8T_08",
+            &["gzip", "crafty", "fma3d", "mcf", "applu", "gap", "mesa", "perlbmk"],
+        ),
+        wl(
+            "8T_09",
+            &["applu", "crafty", "gap", "eon", "lucas", "gcc", "sixtrack", "gzip"],
+        ),
+        wl(
+            "8T_10",
+            &["wupwise", "mesa", "facerec", "perl", "galgel", "equake", "facerec", "mgrid"],
+        ),
+        wl(
+            "8T_11",
+            &["crafty", "eon", "gcc", "gzip", "mesa", "perl", "equake", "mgrid"],
+        ),
+    ]
+}
+
+/// Look up a workload by Table II name.
+pub fn workload(name: &str) -> Option<Workload> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+/// All workloads with a given thread count (2, 4 or 8).
+pub fn workloads_with_threads(threads: usize) -> Vec<Workload> {
+    all_workloads()
+        .into_iter()
+        .filter(|w| w.threads() == threads)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_counts() {
+        // "24 two-thread workloads, 14 four-thread workloads and 11
+        // eight-thread workloads" — 49 total.
+        assert_eq!(workloads_with_threads(2).len(), 24);
+        assert_eq!(workloads_with_threads(4).len(), 14);
+        assert_eq!(workloads_with_threads(8).len(), 11);
+        assert_eq!(all_workloads().len(), 49);
+    }
+
+    #[test]
+    fn every_referenced_benchmark_resolves() {
+        for w in all_workloads() {
+            let profiles = w.profiles();
+            assert_eq!(profiles.len(), w.threads());
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all_workloads().into_iter().map(|w| w.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 49);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let w = workload("2T_04").unwrap();
+        assert_eq!(w.benchmarks, vec!["vpr", "art"]);
+        assert!(workload("2T_99").is_none());
+    }
+
+    #[test]
+    fn eight_t_04_repeats_facerec_as_in_the_paper() {
+        let w = workload("8T_04").unwrap();
+        let n = w.benchmarks.iter().filter(|b| *b == "facerec").count();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn thread_counts_match_prefix() {
+        for w in all_workloads() {
+            let expect = match &w.name[..2] {
+                "2T" => 2,
+                "4T" => 4,
+                "8T" => 8,
+                other => panic!("bad prefix {other}"),
+            };
+            assert_eq!(w.threads(), expect, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let w = workload("4T_10").unwrap();
+        let s = serde_json::to_string(&w).unwrap();
+        assert_eq!(serde_json::from_str::<Workload>(&s).unwrap(), w);
+    }
+}

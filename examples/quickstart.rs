@@ -1,0 +1,53 @@
+//! Quickstart: run one Table II workload on the paper's 2-core machine,
+//! with and without dynamic cache partitioning, and print the paper's
+//! three metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use plru_repro::prelude::*;
+
+fn main() {
+    // The paper's machine (Table II): 2 cores, 32 KB/64 KB L1s, shared
+    // 2 MB 16-way L2. 500k instructions per thread keeps this example
+    // snappy; the figure binaries default to more.
+    let mut cfg = MachineConfig::paper_baseline(2);
+    cfg.insts_target = 500_000;
+
+    // mcf (memory hog) next to parser (mid-size working set).
+    let wl = workload("2T_02").expect("Table II workload");
+    println!("workload {}: {}", wl.name, wl.benchmarks.join(" + "));
+
+    // Isolation IPCs (each benchmark alone with the whole L2) anchor the
+    // weighted-speedup and harmonic-mean metrics.
+    let iso = IsolationCache::new();
+
+    for (label, cpa) in [
+        ("non-partitioned NRU", None),
+        ("M-0.75N dynamic CPA", Some(CpaConfig::m_nru(0.75))),
+    ] {
+        let policy = PolicyKind::Nru;
+        let mut sys = System::from_workload(&cfg, &wl, policy, cpa, 0);
+        let r = sys.run();
+        let iso_ipcs = iso.isolation_ipcs(&cfg, &wl.benchmarks, policy);
+        let m = WorkloadMetrics::compute(&r.ipcs(), &iso_ipcs);
+        println!("\n== {label} ==");
+        for (i, core) in r.cores.iter().enumerate() {
+            println!(
+                "  core {i} ({:<8}) IPC {:.4}   L2 {:>7} accesses, {:>6} misses",
+                wl.benchmarks[i], core.ipc, core.l2_accesses, core.l2_misses
+            );
+        }
+        println!(
+            "  throughput {:.4}   weighted speedup {:.4}   harmonic mean {:.4}",
+            m.throughput, m.weighted_speedup, m.harmonic_mean
+        );
+        if !r.final_allocation.is_empty() {
+            println!(
+                "  final partition: {:?} ways over {} intervals",
+                r.final_allocation, r.intervals
+            );
+        }
+    }
+}

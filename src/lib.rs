@@ -1,0 +1,60 @@
+//! # plru-repro — reproduction of *Adapting Cache Partitioning Algorithms
+//! to Pseudo-LRU Replacement Policies* (Kędzierski et al., IPDPS 2010)
+//!
+//! This is the workspace-root crate: it re-exports the member crates so
+//! examples and integration tests can use one import, and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`).
+//!
+//! * [`cachesim`] — set-associative cache substrate (LRU / NRU / BT /
+//!   random replacement, partition enforcement).
+//! * [`tracegen`] — synthetic SPEC CPU 2000 stand-in traces and the
+//!   paper's Table II workloads.
+//! * [`cmpsim`] — trace-driven CMP timing simulator and metrics.
+//! * [`plru_core`] — the paper's contribution: SDH/eSDH profiling,
+//!   MinMisses selection, enforcement translation, dynamic controller.
+//! * [`hwmodel`] — Table I complexity, ATD area and Figure 9 power models.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use plru_repro::prelude::*;
+//!
+//! // A 2-core CMP with the paper's machine, NRU L2 and the M-0.75N CPA.
+//! let mut cfg = MachineConfig::paper_baseline(2);
+//! cfg.insts_target = 50_000; // keep the doctest quick
+//! let wl = workload("2T_05").unwrap();
+//! let cpa = CpaConfig::m_nru(0.75);
+//! let mut sys = System::from_workload(&cfg, &wl, cpa.policy, Some(cpa), 0);
+//! let result = sys.run();
+//! assert!(result.ipc(0) > 0.0 && result.ipc(1) > 0.0);
+//! ```
+
+pub use cachesim;
+pub use cmpsim;
+pub use hwmodel;
+pub use plru_core;
+pub use tracegen;
+
+/// One-stop imports for examples and tests.
+pub mod prelude {
+    pub use cachesim::{Cache, CacheConfig, CacheGeometry, Enforcement, PolicyKind, WayMask};
+    pub use cmpsim::{
+        harmonic_mean_of_relative_ipc, throughput, weighted_speedup, IsolationCache,
+        MachineConfig, SimResult, System, WorkloadMetrics,
+    };
+    pub use hwmodel::{CacheParams, ComplexityTable, PowerModel, RunActivity};
+    pub use plru_core::{CpaConfig, CpaController, Profiler, Sdh};
+    pub use tracegen::{all_workloads, benchmark, workload, TraceGenerator, Workload};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_key_types() {
+        use crate::prelude::*;
+        let _ = MachineConfig::paper_baseline(2);
+        let _ = CpaConfig::figure7_set();
+        let _ = all_workloads();
+    }
+}
