@@ -3,32 +3,31 @@
 //! performance — the fig* binaries report the latter).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use cmpsim::{MachineConfig, System};
 use plru_core::CpaConfig;
+use plru_repro::SimEngine;
 use tracegen::workload;
 
+fn quick() -> plru_repro::SimEngineBuilder {
+    SimEngine::builder().cores(2).insts(30_000).seed_salt(1)
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
-    let mut cfg = MachineConfig::paper_baseline(2);
-    cfg.insts_target = 30_000;
     let wl = workload("2T_02").unwrap(); // mcf + parser: plenty of L2 traffic
     let mut group = c.benchmark_group("end_to_end_2core");
     group.sample_size(10);
 
     for cpa in CpaConfig::figure7_set() {
-        group.bench_function(cpa.acronym(), |b| {
-            b.iter(|| {
-                let mut sys =
-                    System::from_workload(&cfg, &wl, cpa.policy, Some(cpa.clone()), 1);
-                black_box(sys.run())
-            })
-        });
+        let engine = quick().cpa(cpa.clone()).build();
+        group.bench_function(cpa.acronym(), |b| b.iter(|| black_box(engine.run(&wl))));
     }
-    for policy in [cachesim::PolicyKind::Lru, cachesim::PolicyKind::Nru, cachesim::PolicyKind::Bt] {
+    for policy in [
+        cachesim::PolicyKind::Lru,
+        cachesim::PolicyKind::Nru,
+        cachesim::PolicyKind::Bt,
+    ] {
+        let engine = quick().policy(policy).build();
         group.bench_function(format!("unpartitioned_{policy:?}"), |b| {
-            b.iter(|| {
-                let mut sys = System::from_workload(&cfg, &wl, policy, None, 1);
-                black_box(sys.run())
-            })
+            b.iter(|| black_box(engine.run(&wl)))
         });
     }
     group.finish();

@@ -18,7 +18,7 @@ fn addresses(n: usize) -> Vec<u64> {
             acc = acc
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
-            (acc >> 8) & 0xffff_ffff_80u64
+            (acc >> 8) & 0x00ff_ffff_ff80_u64
         })
         .collect()
 }

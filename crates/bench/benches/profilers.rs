@@ -29,8 +29,7 @@ fn bench_profilers(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("profiler_{label}"));
         for kind in [PolicyKind::Lru, PolicyKind::Nru, PolicyKind::Bt] {
             group.bench_function(format!("{kind:?}"), |b| {
-                let mut p =
-                    ProfilerState::new(kind, geom(), ratio, 0.75, NruUpdateMode::Scaled);
+                let mut p = ProfilerState::new(kind, geom(), ratio, 0.75, NruUpdateMode::Scaled);
                 b.iter(|| {
                     for &a in &addrs {
                         p.observe(black_box(a));

@@ -12,36 +12,39 @@
 //!    as the worst case; here we quantify the headroom);
 //! 6. the extensions: fairness objective and adaptive NRU scaling.
 
+use cachesim::PolicyKind;
 use cmpsim::metrics::mean;
-use cmpsim::parallel_map;
-use plru_bench::experiments::{machine, run_cpa, run_unpartitioned};
+use plru_bench::experiments::{engine, machine};
 use plru_bench::table::ratio;
 use plru_bench::{Options, TextTable};
-use cachesim::PolicyKind;
-use cmpsim::System;
 use plru_core::{CpaConfig, NruUpdateMode, Objective, Selector};
+use plru_repro::engine::parallel_map;
 use tracegen::workloads_with_threads;
 
 fn mean_rel_throughput(opts: &Options, cpa: &CpaConfig, quick: bool) -> f64 {
-    let cfg = machine(2, opts);
+    let base = engine(2, opts).policy(cpa.policy).build();
+    let part = engine(2, opts).cpa(cpa.clone()).build();
     let mut wls = workloads_with_threads(2);
     if quick {
         wls.truncate(6);
     }
     let rels: Vec<f64> = parallel_map(&wls, |wl| {
-        let base = run_unpartitioned(&cfg, wl, cpa.policy);
-        let part = run_cpa(&cfg, wl, cpa);
-        cmpsim::throughput(&part.ipcs()) / cmpsim::throughput(&base.ipcs())
+        cmpsim::throughput(&part.run(wl).ipcs()) / cmpsim::throughput(&base.run(wl).ipcs())
     });
     mean(&rels)
 }
 
 fn main() {
     let opts = Options::from_args();
-    eprintln!("ablations: {} instructions/thread, 2-core workloads", opts.insts);
+    eprintln!(
+        "ablations: {} instructions/thread, 2-core workloads",
+        opts.insts
+    );
 
     // 1. NRU scaling factor sweep + update-mode ambiguity.
-    println!("\n(1) NRU eSDH scaling factor and update mode (rel. throughput vs non-partitioned NRU)");
+    println!(
+        "\n(1) NRU eSDH scaling factor and update mode (rel. throughput vs non-partitioned NRU)"
+    );
     let mut t = TextTable::new(&["scale", "point update", "smear update"]);
     for scale in [1.0, 0.875, 0.75, 0.625, 0.5] {
         let mut point = CpaConfig::m_nru(scale);
@@ -114,10 +117,11 @@ fn main() {
     let throughput_at = |policy: PolicyKind, l1_miss: u64| -> f64 {
         let mut cfg = machine(2, &opts);
         cfg.latencies.l1_miss = l1_miss;
-        let thrs: Vec<f64> = parallel_map(&wls, |wl| {
-            let r = System::from_workload(&cfg, wl, policy, None, 0).run();
-            cmpsim::throughput(&r.ipcs())
-        });
+        let eng = plru_repro::SimEngine::builder()
+            .machine(cfg)
+            .policy(policy)
+            .build();
+        let thrs: Vec<f64> = parallel_map(&wls, |wl| cmpsim::throughput(&eng.run(wl).ipcs()));
         mean(&thrs)
     };
     let lru_base = throughput_at(PolicyKind::Lru, 11);
@@ -154,7 +158,11 @@ fn main() {
     ]);
     t.row(vec![
         "M-0.75N (static, reference)".into(),
-        ratio(mean_rel_throughput(&opts, &CpaConfig::m_nru(0.75), opts.quick)),
+        ratio(mean_rel_throughput(
+            &opts,
+            &CpaConfig::m_nru(0.75),
+            opts.quick,
+        )),
     ]);
     println!("{}", t.render());
 }

@@ -7,7 +7,10 @@ use plru_bench::{fig6_experiment, Options, TextTable};
 
 fn main() {
     let opts = Options::from_args();
-    eprintln!("figure 6: {} instructions/thread (use --insts to change)", opts.insts);
+    eprintln!(
+        "figure 6: {} instructions/thread (use --insts to change)",
+        opts.insts
+    );
     let rows = fig6_experiment(&opts);
 
     let mut t = TextTable::new(&[

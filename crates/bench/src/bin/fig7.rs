@@ -7,7 +7,10 @@ use plru_bench::{fig7_experiment, Options, TextTable};
 
 fn main() {
     let opts = Options::from_args();
-    eprintln!("figure 7: {} instructions/thread (use --insts to change)", opts.insts);
+    eprintln!(
+        "figure 7: {} instructions/thread (use --insts to change)",
+        opts.insts
+    );
     let (rows, raw) = fig7_experiment(&opts);
 
     let mut t = TextTable::new(&[

@@ -8,7 +8,10 @@ use plru_bench::{fig8_experiment, Options, TextTable};
 
 fn main() {
     let opts = Options::from_args();
-    eprintln!("figure 8: {} instructions/thread (use --insts to change)", opts.insts);
+    eprintln!(
+        "figure 8: {} instructions/thread (use --insts to change)",
+        opts.insts
+    );
     let rows = fig8_experiment(&opts);
 
     for scheme in ["M-L", "M-0.75N", "M-BT"] {

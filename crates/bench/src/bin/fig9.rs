@@ -11,13 +11,17 @@ use std::collections::BTreeMap;
 
 fn main() {
     let opts = Options::from_args();
-    eprintln!("figure 9: {} instructions/thread (use --insts to change)", opts.insts);
+    eprintln!(
+        "figure 9: {} instructions/thread (use --insts to change)",
+        opts.insts
+    );
     let (_, raw) = fig7_experiment(&opts);
     let model = PowerModel::default();
 
-    // (cores, acronym) -> per-workload (power, energy, breakdown).
-    let mut groups: BTreeMap<(usize, String), Vec<(f64, f64, hwmodel::PowerBreakdown)>> =
-        BTreeMap::new();
+    // Per-workload (total power, energy/inst, breakdown), keyed below by
+    // (cores, acronym).
+    type PowerRows = Vec<(f64, f64, hwmodel::PowerBreakdown)>;
+    let mut groups: BTreeMap<(usize, String), PowerRows> = BTreeMap::new();
     for run in &raw {
         let act = activity_of(&run.result, run.cores, opts.insts);
         let p = model.power(&act);
@@ -56,11 +60,11 @@ fn main() {
             continue;
         };
         let share = |f: &dyn Fn(&hwmodel::PowerBreakdown) -> f64| -> f64 {
-            mean(&g
-                .iter()
-                .map(|(total, _, b)| f(b) / total)
-                .collect::<Vec<_>>())
-                * 100.0
+            mean(
+                &g.iter()
+                    .map(|(total, _, b)| f(b) / total)
+                    .collect::<Vec<_>>(),
+            ) * 100.0
         };
         t.row(vec![
             cfg.to_string(),

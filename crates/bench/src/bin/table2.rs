@@ -8,12 +8,27 @@ use tracegen::all_workloads;
 fn main() {
     let cfg = MachineConfig::paper_baseline(2);
     println!("Baseline processor configuration (Table II, left)");
-    println!("  L1 I-cache : {} KB, {}-way, {} B lines, LRU, {} cycles miss penalty",
-        cfg.l1i.size_bytes() / 1024, cfg.l1i.assoc(), cfg.l1i.line_bytes(), cfg.latencies.l1_miss);
-    println!("  L1 D-cache : {} KB, {}-way, {} B lines, LRU, {} cycles miss penalty",
-        cfg.l1d.size_bytes() / 1024, cfg.l1d.assoc(), cfg.l1d.line_bytes(), cfg.latencies.l1_miss);
-    println!("  L2 (shared): {} MB, {}-way, {} B lines, {} cycles miss penalty, MinMisses policy",
-        cfg.l2.size_bytes() / (1024 * 1024), cfg.l2.assoc(), cfg.l2.line_bytes(), cfg.latencies.l2_miss);
+    println!(
+        "  L1 I-cache : {} KB, {}-way, {} B lines, LRU, {} cycles miss penalty",
+        cfg.l1i.size_bytes() / 1024,
+        cfg.l1i.assoc(),
+        cfg.l1i.line_bytes(),
+        cfg.latencies.l1_miss
+    );
+    println!(
+        "  L1 D-cache : {} KB, {}-way, {} B lines, LRU, {} cycles miss penalty",
+        cfg.l1d.size_bytes() / 1024,
+        cfg.l1d.assoc(),
+        cfg.l1d.line_bytes(),
+        cfg.latencies.l1_miss
+    );
+    println!(
+        "  L2 (shared): {} MB, {}-way, {} B lines, {} cycles miss penalty, MinMisses policy",
+        cfg.l2.size_bytes() / (1024 * 1024),
+        cfg.l2.assoc(),
+        cfg.l2.line_bytes(),
+        cfg.latencies.l2_miss
+    );
     println!();
 
     println!("Workloads (Table II, right)");

@@ -1,12 +1,19 @@
 //! Experiment drivers shared by the per-figure binaries.
+//!
+//! Every simulation here is constructed through the root crate's
+//! [`SimEngine`]: one engine per (machine, policy/CPA) point, all sharing
+//! one [`IsolationCache`] so the relative metrics never recompute an
+//! isolation run, and [`parallel_map`] fanning the independent runs out
+//! over hardware threads.
 
 use crate::options::Options;
 use cachesim::PolicyKind;
-use cmpsim::{parallel_map, IsolationCache, MachineConfig, SimResult, System, WorkloadMetrics};
 use cmpsim::metrics::mean;
-use hwmodel::RunActivity;
+use cmpsim::{MachineConfig, SimResult, WorkloadMetrics};
 use plru_core::CpaConfig;
+use plru_repro::engine::{parallel_map, IsolationCache, SimEngine, SimEngineBuilder};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use tracegen::{workloads_with_threads, Workload};
 
 /// The machine for an experiment: the paper baseline with the option's
@@ -18,14 +25,9 @@ pub fn machine(num_cores: usize, opts: &Options) -> MachineConfig {
     cfg
 }
 
-/// Run a workload on a non-partitioned L2 under `policy`.
-pub fn run_unpartitioned(cfg: &MachineConfig, wl: &Workload, policy: PolicyKind) -> SimResult {
-    System::from_workload(cfg, wl, policy, None, 0).run()
-}
-
-/// Run a workload under a dynamic CPA configuration.
-pub fn run_cpa(cfg: &MachineConfig, wl: &Workload, cpa: &CpaConfig) -> SimResult {
-    System::from_workload(cfg, wl, cpa.policy, Some(cpa.clone()), 0).run()
+/// Engine builder on the experiment machine.
+pub fn engine(num_cores: usize, opts: &Options) -> SimEngineBuilder {
+    SimEngine::builder().machine(machine(num_cores, opts))
 }
 
 /// Workload subset for `--quick` smoke runs.
@@ -38,8 +40,8 @@ fn select_workloads(threads: usize, quick: bool) -> Vec<Workload> {
 }
 
 /// Activity counters of a run, for the power model.
-pub fn activity_of(r: &SimResult, num_cores: usize, insts_per_core: u64) -> RunActivity {
-    RunActivity {
+pub fn activity_of(r: &SimResult, num_cores: usize, insts_per_core: u64) -> hwmodel::RunActivity {
+    hwmodel::RunActivity {
         cycles: r.total_cycles,
         insts: insts_per_core * num_cores as u64,
         num_cores,
@@ -73,22 +75,23 @@ const FIG6_POLICIES: [PolicyKind; 3] = [PolicyKind::Lru, PolicyKind::Nru, Policy
 /// Run the Figure 6 experiment: all 49 workloads plus the 25 single-thread
 /// runs, three replacement policies, non-partitioned L2.
 pub fn fig6_experiment(opts: &Options) -> Vec<Fig6Row> {
-    let iso = IsolationCache::new();
+    let iso = Arc::new(IsolationCache::new());
     let mut rows = Vec::new();
 
     // 1 core: throughput is just IPC; metrics vs isolation are trivial.
     {
-        let cfg = machine(1, opts);
+        let engines: Vec<SimEngine> = FIG6_POLICIES
+            .iter()
+            .map(|&p| engine(1, opts).policy(p).isolation(iso.clone()).build())
+            .collect();
         let mut names = tracegen::benchmark_names();
         if opts.quick {
             names.truncate(4);
         }
-        // policy -> mean relative IPC vs LRU, per benchmark.
-        let per_policy: Vec<Vec<f64>> = FIG6_POLICIES
+        // policy -> isolation IPC per benchmark.
+        let per_policy: Vec<Vec<f64>> = engines
             .iter()
-            .map(|&p| {
-                parallel_map(&names, |name| iso.isolation_ipc(&cfg, name, p))
-            })
+            .map(|e| parallel_map(&names, |name| e.isolation_ipc(name)))
             .collect();
         for (pi, &policy) in FIG6_POLICIES.iter().enumerate() {
             let rel: Vec<f64> = per_policy[pi]
@@ -107,18 +110,20 @@ pub fn fig6_experiment(opts: &Options) -> Vec<Fig6Row> {
     }
 
     for threads in [2usize, 4, 8] {
-        let cfg = machine(threads, opts);
+        let engines: Vec<SimEngine> = FIG6_POLICIES
+            .iter()
+            .map(|&p| {
+                engine(threads, opts)
+                    .policy(p)
+                    .isolation(iso.clone())
+                    .build()
+            })
+            .collect();
         let wls = select_workloads(threads, opts.quick);
         // metrics[policy][workload]
-        let metrics: Vec<Vec<WorkloadMetrics>> = FIG6_POLICIES
+        let metrics: Vec<Vec<WorkloadMetrics>> = engines
             .iter()
-            .map(|&policy| {
-                parallel_map(&wls, |wl| {
-                    let r = run_unpartitioned(&cfg, wl, policy);
-                    let iso_ipcs = iso.isolation_ipcs(&cfg, &wl.benchmarks, policy);
-                    WorkloadMetrics::compute(&r.ipcs(), &iso_ipcs)
-                })
-            })
+            .map(|e| parallel_map(&wls, |wl| e.run_with_metrics(wl).1))
             .collect();
         for (pi, &policy) in FIG6_POLICIES.iter().enumerate() {
             let rel_thr: Vec<f64> = metrics[pi]
@@ -186,13 +191,21 @@ pub struct Fig7Row {
 /// Run the Figure 7 experiment. Returns the averaged rows plus every raw
 /// run (Figure 9 reuses the raw runs for its power model).
 pub fn fig7_experiment(opts: &Options) -> (Vec<Fig7Row>, Vec<ConfigRun>) {
-    let iso = IsolationCache::new();
+    let iso = Arc::new(IsolationCache::new());
     let configs = CpaConfig::figure7_set();
     let mut rows = Vec::new();
     let mut raw = Vec::new();
 
     for threads in [2usize, 4, 8] {
-        let cfg = machine(threads, opts);
+        let engines: Vec<SimEngine> = configs
+            .iter()
+            .map(|c| {
+                engine(threads, opts)
+                    .cpa(c.clone())
+                    .isolation(iso.clone())
+                    .build()
+            })
+            .collect();
         let wls = select_workloads(threads, opts.quick);
         // jobs = (workload, config) cross product.
         let jobs: Vec<(usize, usize)> = (0..wls.len())
@@ -200,14 +213,12 @@ pub fn fig7_experiment(opts: &Options) -> (Vec<Fig7Row>, Vec<ConfigRun>) {
             .collect();
         let results: Vec<ConfigRun> = parallel_map(&jobs, |&(w, c)| {
             let wl = &wls[w];
-            let cpa = &configs[c];
-            let r = run_cpa(&cfg, wl, cpa);
-            let iso_ipcs = iso.isolation_ipcs(&cfg, &wl.benchmarks, cpa.policy);
+            let (r, m) = engines[c].run_with_metrics(wl);
             ConfigRun {
-                acronym: cpa.acronym(),
+                acronym: configs[c].acronym(),
                 workload: wl.name.clone(),
                 cores: threads,
-                metrics: WorkloadMetrics::compute(&r.ipcs(), &iso_ipcs),
+                metrics: m,
                 result: r,
             }
         });
@@ -268,13 +279,10 @@ pub fn fig8_experiment(opts: &Options) -> Vec<Fig8Row> {
     let mut rows = Vec::new();
     for cpa in fig8_schemes() {
         for &size in &FIG8_SIZES {
-            let cfg = machine(2, opts)
-                .with_l2_size(size)
-                .expect("valid Figure 8 size");
+            let base = engine(2, opts).l2_size(size).policy(cpa.policy).build();
+            let part = engine(2, opts).l2_size(size).cpa(cpa.clone()).build();
             let rels: Vec<f64> = parallel_map(&wls, |wl| {
-                let base = run_unpartitioned(&cfg, wl, cpa.policy);
-                let part = run_cpa(&cfg, wl, &cpa);
-                cmpsim::throughput(&part.ipcs()) / cmpsim::throughput(&base.ipcs())
+                cmpsim::throughput(&part.run(wl).ipcs()) / cmpsim::throughput(&base.run(wl).ipcs())
             });
             for (wl, &rel) in wls.iter().zip(&rels) {
                 rows.push(Fig8Row {
@@ -318,11 +326,18 @@ mod tests {
     }
 
     #[test]
+    fn engine_builder_carries_the_machine() {
+        let o = quick_opts();
+        let e = engine(4, &o).build();
+        assert_eq!(e.config().num_cores, 4);
+        assert_eq!(e.config().insts_target, 40_000);
+    }
+
+    #[test]
     fn activity_sums_cores() {
         let o = quick_opts();
-        let cfg = machine(2, &o);
         let wl = tracegen::workload("2T_21").unwrap();
-        let r = run_unpartitioned(&cfg, &wl, PolicyKind::Lru);
+        let r = engine(2, &o).policy(PolicyKind::Lru).build().run(&wl);
         let a = activity_of(&r, 2, o.insts);
         assert_eq!(a.insts, 80_000);
         assert_eq!(

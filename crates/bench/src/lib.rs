@@ -13,8 +13,7 @@ pub mod options;
 pub mod table;
 
 pub use experiments::{
-    fig6_experiment, fig7_experiment, fig8_experiment, run_cpa, run_unpartitioned, ConfigRun,
-    Fig6Row, Fig7Row, Fig8Row,
+    engine, fig6_experiment, fig7_experiment, fig8_experiment, ConfigRun, Fig6Row, Fig7Row, Fig8Row,
 };
 pub use options::Options;
 pub use table::TextTable;

@@ -66,10 +66,11 @@ impl Enforcement {
     pub fn bt_vectors(masks: Vec<WayMask>, assoc: usize) -> Result<Self, CacheError> {
         let mut vectors = Vec::with_capacity(masks.len());
         for (core, &m) in masks.iter().enumerate() {
-            let v =
-                BtVectors::for_aligned_subtree(m, assoc).ok_or_else(|| CacheError::BadPartition {
+            let v = BtVectors::for_aligned_subtree(m, assoc).ok_or_else(|| {
+                CacheError::BadPartition {
                     reason: format!("core {core}: mask {m} is not an aligned subtree"),
-                })?;
+                }
+            })?;
             vectors.push(v);
         }
         Ok(Enforcement::BtVectors { masks, vectors })
@@ -188,7 +189,9 @@ mod tests {
 
     #[test]
     fn owner_counter_quota_sums_checked() {
-        assert!(Enforcement::owner_counters(vec![8, 8]).validate(16, 2).is_ok());
+        assert!(Enforcement::owner_counters(vec![8, 8])
+            .validate(16, 2)
+            .is_ok());
         assert!(Enforcement::owner_counters(vec![12, 8])
             .validate(16, 2)
             .is_err());
@@ -213,10 +216,7 @@ mod tests {
         let e = Enforcement::masks(vec![WayMask::contiguous(0, 4), WayMask::contiguous(4, 12)]);
         assert_eq!(e.static_mask(1), Some(WayMask::contiguous(4, 12)));
         assert_eq!(Enforcement::None.static_mask(0), None);
-        assert_eq!(
-            Enforcement::owner_counters(vec![8, 8]).static_mask(0),
-            None
-        );
+        assert_eq!(Enforcement::owner_counters(vec![8, 8]).static_mask(0), None);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// The paper's baseline L2 is `CacheGeometry::new(2 MiB, 16, 128)`:
 /// 1024 sets of 16 ways of 128-byte lines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CacheGeometry {
     size_bytes: u64,
     assoc: usize,

@@ -96,7 +96,9 @@ impl Hierarchy {
     pub fn access_data(&mut self, core: usize, addr: Addr, write: bool) -> HierarchyOutcome {
         let l1_out = self.l1[core].dcache.access(0, addr, write);
         if l1_out.hit {
-            return HierarchyOutcome { level: MemLevel::L1 };
+            return HierarchyOutcome {
+                level: MemLevel::L1,
+            };
         }
         let l2_out = self.l2.access(core, addr, write);
         HierarchyOutcome {
@@ -112,7 +114,9 @@ impl Hierarchy {
     pub fn access_inst(&mut self, core: usize, addr: Addr) -> HierarchyOutcome {
         let l1_out = self.l1[core].icache.access(0, addr, false);
         if l1_out.hit {
-            return HierarchyOutcome { level: MemLevel::L1 };
+            return HierarchyOutcome {
+                level: MemLevel::L1,
+            };
         }
         let l2_out = self.l2.access(core, addr, false);
         HierarchyOutcome {
@@ -195,7 +199,11 @@ mod tests {
         for _ in 0..10 {
             h.access_data(0, 0x4000, false);
         }
-        assert_eq!(h.l2.stats().core(0).accesses, 1, "one L1 miss, one L2 access");
+        assert_eq!(
+            h.l2.stats().core(0).accesses,
+            1,
+            "one L1 miss, one L2 access"
+        );
     }
 
     #[test]

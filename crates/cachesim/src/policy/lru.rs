@@ -137,7 +137,7 @@ mod tests {
         // Access C then D (the "CDD" pattern of Figure 2).
         l.on_access(0, 2); // C -> MRU
         l.on_access(0, 3); // D -> MRU
-        // Now D is MRU, C second, A third, B is LRU.
+                           // Now D is MRU, C second, A third, B is LRU.
         assert_eq!(l.rank(0, 3), 0);
         assert_eq!(l.rank(0, 2), 1);
         assert_eq!(l.rank(0, 0), 2);

@@ -164,7 +164,8 @@ mod tests {
     #[test]
     fn saturation_scope_is_mask_under_partitioning() {
         let mut n = Nru::new(1, 8);
-        let scope = WayMask::contiguous(0, 4); // core owns ways 0..4
+        // Core 0 owns ways 0..4.
+        let scope = WayMask::contiguous(0, 4);
         // Two ways of the other core marked used (not enough to saturate
         // its own scope); they must survive core 0's clear.
         n.on_access(0, 4, WayMask::contiguous(4, 4));

@@ -70,7 +70,7 @@ proptest! {
         trace in proptest::collection::vec((0usize..SETS, 0u64..40), 1..500),
     ) {
         let mut c = small(policy, 1);
-        let mut fills_per_set = vec![0usize; SETS];
+        let mut fills_per_set = [0usize; SETS];
         for &(set, n) in &trace {
             let out = c.access(0, addr(set, n), false);
             if !out.hit {

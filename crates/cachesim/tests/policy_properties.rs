@@ -158,7 +158,7 @@ proptest! {
     ) {
         let size = 1usize << size_pow;
         let start = (start_pow * size) % ASSOC;
-        prop_assume!(start + size <= ASSOC && start % size == 0);
+        prop_assume!(start + size <= ASSOC && start.is_multiple_of(size));
         let m = WayMask::contiguous(start, size);
         prop_assume!(m.is_aligned_subtree(ASSOC));
         let vec = BtVectors::for_aligned_subtree(m, ASSOC).unwrap();

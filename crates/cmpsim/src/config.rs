@@ -1,10 +1,10 @@
 //! Machine configuration (the paper's Table II).
 
-use cachesim::{CacheGeometry, CacheError};
+use cachesim::{CacheError, CacheGeometry};
 use serde::{Deserialize, Serialize};
 
 /// Memory-access latencies in cycles (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Latencies {
     /// Extra cycles when an access misses L1 and hits L2
     /// ("11 cycles miss penalty" for both L1s).
@@ -24,7 +24,7 @@ impl Default for Latencies {
 }
 
 /// Full machine description.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MachineConfig {
     /// Number of cores (= threads; the paper runs 1 thread per core).
     pub num_cores: usize,

@@ -49,14 +49,16 @@ where
         .collect()
 }
 
-/// Key of one isolation run: benchmark, L2 policy, L2 size, instruction
-/// target and core index salt are what change the resulting IPC.
+/// Key of one isolation run: the benchmark, the L2 policy, and the whole
+/// solo machine (geometries, latencies, instruction target, seed) — every
+/// input that changes the resulting IPC. The full config matters because
+/// one `IsolationCache` may now be shared across engines built from
+/// different machines.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct IsoKey {
     benchmark: String,
     policy: PolicyKind,
-    l2_bytes: u64,
-    insts: u64,
+    solo_cfg: MachineConfig,
 }
 
 /// Thread-safe memo of isolation IPCs (`IPC_isolation_i` in the metric
@@ -76,20 +78,19 @@ impl IsolationCache {
     /// IPC of `benchmark` running alone on a single-core machine derived
     /// from `cfg` (same caches, same latencies, full L2, no partitioning).
     pub fn isolation_ipc(&self, cfg: &MachineConfig, benchmark: &str, policy: PolicyKind) -> f64 {
+        let mut solo = cfg.clone();
+        solo.num_cores = 1;
         let key = IsoKey {
             benchmark: benchmark.to_string(),
             policy,
-            l2_bytes: cfg.l2.size_bytes(),
-            insts: cfg.insts_target,
+            solo_cfg: solo,
         };
         if let Some(&ipc) = self.map.lock().get(&key) {
             return ipc;
         }
-        let mut solo = cfg.clone();
-        solo.num_cores = 1;
-        let profile =
-            tracegen::benchmark(benchmark).unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
-        let mut sys = System::from_profiles(&solo, &[profile], policy, None, 0);
+        let profile = tracegen::benchmark(benchmark)
+            .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
+        let mut sys = System::from_profiles(&key.solo_cfg, &[profile], policy, None, 0);
         let ipc = sys.run().ipc(0);
         self.map.lock().insert(key, ipc);
         ipc
@@ -175,6 +176,32 @@ mod tests {
         let small = cfg.with_l2_size(512 * 1024).unwrap();
         cache.isolation_ipc(&small, "gzip", PolicyKind::Lru);
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn isolation_distinguishes_full_machines() {
+        // A shared cache may see engines built from different machines:
+        // anything that changes the solo run must miss the memo.
+        let mut cfg = MachineConfig::paper_baseline(1);
+        cfg.insts_target = 30_000;
+        let cache = IsolationCache::new();
+        cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru);
+
+        let mut reseeded = cfg.clone();
+        reseeded.seed ^= 0xDEAD_BEEF;
+        cache.isolation_ipc(&reseeded, "gzip", PolicyKind::Lru);
+
+        let mut slower = cfg.clone();
+        slower.latencies.l2_miss += 100;
+        cache.isolation_ipc(&slower, "gzip", PolicyKind::Lru);
+        assert_eq!(cache.len(), 3, "seed and latency changes must not collide");
+
+        // The caller's core count is irrelevant: the solo machine is
+        // always single-core, so this must hit.
+        let mut multi = cfg.clone();
+        multi.num_cores = 4;
+        cache.isolation_ipc(&multi, "gzip", PolicyKind::Lru);
+        assert_eq!(cache.len(), 3, "core count must not fragment the memo");
     }
 
     #[test]

@@ -319,7 +319,11 @@ mod tests {
         let wl = workload("2T_02").unwrap(); // mcf + parser
         let mut sys = System::from_workload(&cfg, &wl, PolicyKind::Lru, Some(cpa), 5);
         let r = sys.run();
-        assert!(r.intervals >= 2, "expected repartitions, got {}", r.intervals);
+        assert!(
+            r.intervals >= 2,
+            "expected repartitions, got {}",
+            r.intervals
+        );
         assert_eq!(r.final_allocation.iter().sum::<usize>(), 16);
         assert!(r.atd_observed > 0, "ATDs must observe sampled accesses");
     }

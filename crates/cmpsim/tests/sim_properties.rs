@@ -55,7 +55,7 @@ proptest! {
             let mut cfg = MachineConfig::paper_baseline(1);
             cfg.insts_target = insts;
             let mut sys =
-                System::from_profiles(&cfg, &[profile.clone()], PolicyKind::Lru, None, 3);
+                System::from_profiles(&cfg, std::slice::from_ref(&profile), PolicyKind::Lru, None, 3);
             sys.run().cores[0].cycles
         };
         prop_assert!(run(24_000) >= run(12_000));
@@ -69,7 +69,7 @@ proptest! {
         cfg1.insts_target = 30_000;
         let v = tracegen::benchmark(victim).unwrap();
         let a = tracegen::benchmark(aggressor).unwrap();
-        let solo = System::from_profiles(&cfg1, &[v.clone()], PolicyKind::Lru, None, 5)
+        let solo = System::from_profiles(&cfg1, std::slice::from_ref(&v), PolicyKind::Lru, None, 5)
             .run()
             .ipc(0);
         let mut cfg2 = MachineConfig::paper_baseline(2);

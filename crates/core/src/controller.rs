@@ -101,10 +101,7 @@ impl CpaController {
     /// compare their prediction at the installed allocation against the
     /// observation and nudge their scaling factor accordingly — the
     /// estimation-accuracy extension the paper leaves as future work.
-    pub fn on_interval_with_feedback(
-        &mut self,
-        observed_misses: Option<&[u64]>,
-    ) -> Enforcement {
+    pub fn on_interval_with_feedback(&mut self, observed_misses: Option<&[u64]>) -> Enforcement {
         let total: u64 = self.profilers.iter().map(|p| p.sdh().total()).sum();
         let warm = total >= self.config.min_samples_per_thread * self.profilers.len() as u64;
         if warm {
@@ -113,8 +110,11 @@ impl CpaController {
                     self.adapt_nru_scales(observed);
                 }
             }
-            let curves: Vec<Vec<u64>> =
-                self.profilers.iter().map(|p| p.sdh().miss_curve()).collect();
+            let curves: Vec<Vec<u64>> = self
+                .profilers
+                .iter()
+                .map(|p| p.sdh().miss_curve())
+                .collect();
             self.allocation = match self.config.objective {
                 Objective::Fairness => fairness_minimax(&curves, self.assoc),
                 Objective::MinMisses => match self.config.selector {
@@ -291,7 +291,10 @@ mod tests {
         let before = c.profilers()[0].sdh().total();
         c.on_interval();
         let after = c.profilers()[0].sdh().total();
-        assert!(after <= before / 2 + 1, "decay must halve ({before} -> {after})");
+        assert!(
+            after <= before / 2 + 1,
+            "decay must halve ({before} -> {after})"
+        );
     }
 
     #[test]

@@ -45,6 +45,9 @@ pub fn min_misses_dp(curves: &[Vec<u64>], assoc: usize) -> Vec<usize> {
                 continue;
             }
             let max_take = assoc - used - remaining;
+            // `take` is the DP decision variable (ways handed to thread
+            // t), not a plain index — keep the recurrence literal.
+            #[allow(clippy::needless_range_loop)]
             for take in 1..=max_take {
                 let cost = dp[t][used] + curves[t][take];
                 let slot = used + take;
@@ -141,6 +144,8 @@ pub fn fairness_minimax(curves: &[Vec<u64>], assoc: usize) -> Vec<usize> {
                 continue;
             }
             let max_take = assoc - used - remaining;
+            // Same DP decision variable as in `min_misses_dp`.
+            #[allow(clippy::needless_range_loop)]
             for take in 1..=max_take {
                 let cand = (cur_max.max(penalty(t, take)), cur_tot + curves[t][take]);
                 let slot = used + take;
@@ -233,17 +238,17 @@ mod tests {
         // Staircase curves (non-convex): greedy can fail, DP must not.
         let assoc = 8;
         let stair = |drops: &[(usize, u64)]| -> Vec<u64> {
-            let mut c = vec![0u64; assoc + 1];
             let total: u64 = drops.iter().map(|&(_, d)| d).sum();
-            for w in 0..=assoc {
-                c[w] = total
-                    - drops
-                        .iter()
-                        .filter(|&&(at, _)| w >= at)
-                        .map(|&(_, d)| d)
-                        .sum::<u64>();
-            }
-            c
+            (0..=assoc)
+                .map(|w| {
+                    total
+                        - drops
+                            .iter()
+                            .filter(|&&(at, _)| w >= at)
+                            .map(|&(_, d)| d)
+                            .sum::<u64>()
+                })
+                .collect()
         };
         let curves = vec![
             stair(&[(4, 1000)]),          // all-or-nothing at 4 ways
@@ -351,14 +356,7 @@ mod tests {
         ];
         let fair = fairness_minimax(&curves, assoc);
         // Enumerate all allocations; find the minimal max penalty.
-        fn rec(
-            curves: &[Vec<u64>],
-            assoc: usize,
-            t: usize,
-            left: usize,
-            acc: &mut Vec<usize>,
-            best: &mut f64,
-        ) {
+        fn rec(curves: &[Vec<u64>], t: usize, left: usize, acc: &mut Vec<usize>, best: &mut f64) {
             if t == curves.len() {
                 if left == 0 {
                     *best = best.min(max_relative_increase(curves, acc));
@@ -368,12 +366,12 @@ mod tests {
             let rem = curves.len() - 1 - t;
             for take in 1..=(left.saturating_sub(rem)) {
                 acc.push(take);
-                rec(curves, assoc, t + 1, left - take, acc, best);
+                rec(curves, t + 1, left - take, acc, best);
                 acc.pop();
             }
         }
         let mut best = f64::INFINITY;
-        rec(&curves, assoc, 0, assoc, &mut Vec::new(), &mut best);
+        rec(&curves, 0, assoc, &mut Vec::new(), &mut best);
         assert!((max_relative_increase(&curves, &fair) - best).abs() < 1e-12);
     }
 

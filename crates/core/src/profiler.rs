@@ -131,12 +131,7 @@ pub struct NruProfiler {
 impl NruProfiler {
     /// Build with eSDH scaling factor `scale` (the paper evaluates 1.0,
     /// 0.75, 0.5) and the given hit-update mode.
-    pub fn new(
-        geom: CacheGeometry,
-        sample_ratio: usize,
-        scale: f64,
-        mode: NruUpdateMode,
-    ) -> Self {
+    pub fn new(geom: CacheGeometry, sample_ratio: usize, scale: f64, mode: NruUpdateMode) -> Self {
         assert!(scale > 0.0 && scale <= 1.0);
         let tags = AtdTags::new(geom, sample_ratio);
         NruProfiler {

@@ -142,7 +142,11 @@ mod tests {
         }
         s.decay();
         assert_eq!(s.register(2), 5);
-        assert_eq!(s.register(5), 2, "miss register decays too (odd halves down)");
+        assert_eq!(
+            s.register(5),
+            2,
+            "miss register decays too (odd halves down)"
+        );
     }
 
     #[test]

@@ -101,10 +101,8 @@ proptest! {
     #[test]
     fn scaled_distance_ceiling_rule(u in 1usize..=16) {
         let geom = CacheGeometry::new(8192, 16, 64).unwrap();
-        let cases: Vec<(f64, fn(usize) -> usize)> = vec![
-            (1.0, |u| u),
-            (0.5, |u| u.div_ceil(2)),
-        ];
+        type ExpectedDistance = fn(usize) -> usize;
+        let cases: Vec<(f64, ExpectedDistance)> = vec![(1.0, |u| u), (0.5, |u| u.div_ceil(2))];
         for (s, expected) in cases {
             let p = NruProfiler::new(geom, 1, s, NruUpdateMode::Scaled);
             prop_assert_eq!(p.scaled_distance(u), expected(u));

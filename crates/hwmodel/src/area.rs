@@ -37,7 +37,8 @@ pub fn profiling_logic_bytes(
     sample_ratio: usize,
     reg_bits: u32,
 ) -> u64 {
-    params.num_cores as u64 * (atd_bytes(policy, params, sample_ratio) + sdh_bytes(params, reg_bits))
+    params.num_cores as u64
+        * (atd_bytes(policy, params, sample_ratio) + sdh_bytes(params, reg_bits))
 }
 
 #[cfg(test)]

@@ -309,12 +309,18 @@ mod tests {
 
     #[test]
     fn unpartitioned_update_costs_match_table() {
-        assert_eq!(event_costs(PolicyKind::Lru, &p()).update_unpartitioned_bits, 64);
+        assert_eq!(
+            event_costs(PolicyKind::Lru, &p()).update_unpartitioned_bits,
+            64
+        );
         assert_eq!(
             event_costs(PolicyKind::Nru, &p()).update_unpartitioned_bits,
             15 + 4
         );
-        assert_eq!(event_costs(PolicyKind::Bt, &p()).update_unpartitioned_bits, 4);
+        assert_eq!(
+            event_costs(PolicyKind::Bt, &p()).update_unpartitioned_bits,
+            4
+        );
     }
 
     #[test]
@@ -330,7 +336,10 @@ mod tests {
             32 + 15 + 4
         );
         // BT: 3 * log2(A) — no owned-line scan needed.
-        assert_eq!(event_costs(PolicyKind::Bt, &p()).update_partitioned_bits, 12);
+        assert_eq!(
+            event_costs(PolicyKind::Bt, &p()).update_partitioned_bits,
+            12
+        );
     }
 
     #[test]

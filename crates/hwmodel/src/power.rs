@@ -111,10 +111,9 @@ impl PowerModel {
         let cyc = run.cycles as f64;
         let cores = (run.insts as f64 * c.core_dynamic_per_inst) / cyc
             + run.num_cores as f64 * c.core_leakage_per_cycle;
-        let l2 =
-            (run.l2_accesses as f64 * c.l2_dynamic_per_access) / cyc + c.l2_leakage_per_cycle;
-        let memory = (run.l2_misses as f64 * c.l2_dynamic_per_access * c.memory_access_factor)
-            / cyc;
+        let l2 = (run.l2_accesses as f64 * c.l2_dynamic_per_access) / cyc + c.l2_leakage_per_cycle;
+        let memory =
+            (run.l2_misses as f64 * c.l2_dynamic_per_access * c.memory_access_factor) / cyc;
         let profiling = if run.atd_accesses > 0 {
             (run.atd_accesses as f64 * c.atd_dynamic_per_access) / cyc
                 + run.num_cores as f64 * c.profiling_leakage_per_cycle
@@ -157,8 +156,7 @@ mod tests {
         let m = PowerModel::default();
         let run = base_run();
         let p = m.power(&run);
-        let expect =
-            run.l2_misses as f64 * 4.0 * 150.0 / run.cycles as f64;
+        let expect = run.l2_misses as f64 * 4.0 * 150.0 / run.cycles as f64;
         assert!((p.memory - expect).abs() < 1e-9);
     }
 

@@ -86,47 +86,69 @@ pub fn all_workloads() -> Vec<Workload> {
         // --- eight-thread workloads ---------------------------------
         wl(
             "8T_01",
-            &["apsi", "bzip2", "mcf", "parser", "twolf", "swim", "vpr", "art"],
+            &[
+                "apsi", "bzip2", "mcf", "parser", "twolf", "swim", "vpr", "art",
+            ],
         ),
         wl(
             "8T_02",
-            &["apsi", "crafty", "bzip2", "eon", "mcf", "gcc", "parser", "gzip"],
+            &[
+                "apsi", "crafty", "bzip2", "eon", "mcf", "gcc", "parser", "gzip",
+            ],
         ),
         wl(
             "8T_03",
-            &["twolf", "mesa", "vortex", "perl", "vpr", "equake", "art", "mgrid"],
+            &[
+                "twolf", "mesa", "vortex", "perl", "vpr", "equake", "art", "mgrid",
+            ],
         ),
         wl(
             "8T_04",
-            &["applu", "gap", "lucas", "sixtrack", "facerec", "wupwise", "galgel", "facerec"],
+            &[
+                "applu", "gap", "lucas", "sixtrack", "facerec", "wupwise", "galgel", "facerec",
+            ],
         ),
         wl(
             "8T_05",
-            &["applu", "apsi", "gap", "bzip2", "lucas", "mcf", "sixtrack", "parser"],
+            &[
+                "applu", "apsi", "gap", "bzip2", "lucas", "mcf", "sixtrack", "parser",
+            ],
         ),
         wl(
             "8T_06",
-            &["lucas", "mcf", "sixtrack", "parser", "facerec", "twolf", "wupwise", "art"],
+            &[
+                "lucas", "mcf", "sixtrack", "parser", "facerec", "twolf", "wupwise", "art",
+            ],
         ),
         wl(
             "8T_07",
-            &["galgel", "vpr", "twolf", "apsi", "art", "swim", "parser", "wupwise"],
+            &[
+                "galgel", "vpr", "twolf", "apsi", "art", "swim", "parser", "wupwise",
+            ],
         ),
         wl(
             "8T_08",
-            &["gzip", "crafty", "fma3d", "mcf", "applu", "gap", "mesa", "perlbmk"],
+            &[
+                "gzip", "crafty", "fma3d", "mcf", "applu", "gap", "mesa", "perlbmk",
+            ],
         ),
         wl(
             "8T_09",
-            &["applu", "crafty", "gap", "eon", "lucas", "gcc", "sixtrack", "gzip"],
+            &[
+                "applu", "crafty", "gap", "eon", "lucas", "gcc", "sixtrack", "gzip",
+            ],
         ),
         wl(
             "8T_10",
-            &["wupwise", "mesa", "facerec", "perl", "galgel", "equake", "facerec", "mgrid"],
+            &[
+                "wupwise", "mesa", "facerec", "perl", "galgel", "equake", "facerec", "mgrid",
+            ],
         ),
         wl(
             "8T_11",
-            &["crafty", "eon", "gcc", "gzip", "mesa", "perl", "equake", "mgrid"],
+            &[
+                "crafty", "eon", "gcc", "gzip", "mesa", "perl", "equake", "mgrid",
+            ],
         ),
     ]
 }

@@ -26,17 +26,18 @@ fn main() {
     }
 
     // Power of a real run: 2-core workload under the M-0.75N CPA.
-    let mut cfg = MachineConfig::paper_baseline(2);
-    cfg.insts_target = 300_000;
+    let engine = SimEngine::builder()
+        .cores(2)
+        .insts(300_000)
+        .cpa(CpaConfig::m_nru(0.75))
+        .build();
     let wl = workload("2T_02").unwrap();
-    let cpa = CpaConfig::m_nru(0.75);
-    let mut sys = System::from_workload(&cfg, &wl, cpa.policy, Some(cpa), 0);
-    let r = sys.run();
+    let r = engine.run(&wl);
 
     let model = PowerModel::default();
     let act = RunActivity {
         cycles: r.total_cycles,
-        insts: cfg.insts_target * 2,
+        insts: engine.config().insts_target * 2,
         num_cores: 2,
         l2_accesses: r.cores.iter().map(|c| c.l2_accesses).sum(),
         l2_misses: r.cores.iter().map(|c| c.l2_misses).sum(),
@@ -44,13 +45,28 @@ fn main() {
     };
     let p = model.power(&act);
     println!("\npower breakdown of {} under M-0.75N:", wl.name);
-    println!("  cores     {:>8.2}  ({:>5.1}%)", p.cores, 100.0 * p.cores / p.total());
-    println!("  L2        {:>8.2}  ({:>5.1}%)", p.l2, 100.0 * p.l2 / p.total());
-    println!("  memory    {:>8.2}  ({:>5.1}%)", p.memory, 100.0 * p.memory / p.total());
+    println!(
+        "  cores     {:>8.2}  ({:>5.1}%)",
+        p.cores,
+        100.0 * p.cores / p.total()
+    );
+    println!(
+        "  L2        {:>8.2}  ({:>5.1}%)",
+        p.l2,
+        100.0 * p.l2 / p.total()
+    );
+    println!(
+        "  memory    {:>8.2}  ({:>5.1}%)",
+        p.memory,
+        100.0 * p.memory / p.total()
+    );
     println!(
         "  profiling {:>8.2}  ({:>5.3}%)  <- the paper's <0.3% claim",
         p.profiling,
         100.0 * p.profiling_fraction()
     );
-    println!("  energy/inst (CPI x Power): {:.2}", model.energy_per_inst(&act));
+    println!(
+        "  energy/inst (CPI x Power): {:.2}",
+        model.energy_per_inst(&act)
+    );
 }

@@ -62,6 +62,8 @@ fn main() {
         nru50.sdh().miss_curve(),
         bt.sdh().miss_curve(),
     ];
+    // `w` indexes all five curves at once (one table row per way count).
+    #[allow(clippy::needless_range_loop)]
     for w in 0..=16usize {
         println!(
             "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",

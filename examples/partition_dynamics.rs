@@ -10,9 +10,6 @@
 use plru_repro::prelude::*;
 
 fn main() {
-    let mut cfg = MachineConfig::paper_baseline(2);
-    cfg.insts_target = 1_200_000;
-
     // galgel (phase-heavy) next to eon (small, steady working set).
     let profiles = vec![
         benchmark("galgel").expect("profile"),
@@ -21,7 +18,12 @@ fn main() {
     let mut cpa = CpaConfig::m_l();
     cpa.interval_cycles = 250_000; // finer cadence so the adaptation shows
 
-    let mut sys = cmpsim::System::from_profiles(&cfg, &profiles, cpa.policy, Some(cpa), 0);
+    let engine = SimEngine::builder()
+        .cores(2)
+        .insts(1_200_000)
+        .cpa(cpa)
+        .build();
+    let mut sys = engine.system_from_profiles(&profiles);
     let r = sys.run();
 
     println!("galgel + eon under M-L dynamic partitioning\n");

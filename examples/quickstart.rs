@@ -7,31 +7,42 @@
 //! ```
 
 use plru_repro::prelude::*;
+use std::sync::Arc;
 
 fn main() {
     // The paper's machine (Table II): 2 cores, 32 KB/64 KB L1s, shared
     // 2 MB 16-way L2. 500k instructions per thread keeps this example
     // snappy; the figure binaries default to more.
-    let mut cfg = MachineConfig::paper_baseline(2);
-    cfg.insts_target = 500_000;
+    let base = SimEngine::builder().cores(2).insts(500_000);
 
     // mcf (memory hog) next to parser (mid-size working set).
     let wl = workload("2T_02").expect("Table II workload");
     println!("workload {}: {}", wl.name, wl.benchmarks.join(" + "));
 
     // Isolation IPCs (each benchmark alone with the whole L2) anchor the
-    // weighted-speedup and harmonic-mean metrics.
-    let iso = IsolationCache::new();
+    // weighted-speedup and harmonic-mean metrics; both engines share the
+    // memo so they are computed once.
+    let iso = Arc::new(IsolationCache::new());
 
-    for (label, cpa) in [
-        ("non-partitioned NRU", None),
-        ("M-0.75N dynamic CPA", Some(CpaConfig::m_nru(0.75))),
-    ] {
-        let policy = PolicyKind::Nru;
-        let mut sys = System::from_workload(&cfg, &wl, policy, cpa, 0);
-        let r = sys.run();
-        let iso_ipcs = iso.isolation_ipcs(&cfg, &wl.benchmarks, policy);
-        let m = WorkloadMetrics::compute(&r.ipcs(), &iso_ipcs);
+    let engines = [
+        (
+            "non-partitioned NRU",
+            base.clone()
+                .policy(PolicyKind::Nru)
+                .isolation(iso.clone())
+                .build(),
+        ),
+        (
+            "M-0.75N dynamic CPA",
+            base.clone()
+                .cpa(CpaConfig::m_nru(0.75))
+                .isolation(iso.clone())
+                .build(),
+        ),
+    ];
+
+    for (label, engine) in &engines {
+        let (r, m) = engine.run_with_metrics(&wl);
         println!("\n== {label} ==");
         for (i, core) in r.cores.iter().enumerate() {
             println!(

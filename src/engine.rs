@@ -1,0 +1,362 @@
+//! The engine layer: one front door for every simulation in the workspace.
+//!
+//! Before this module existed, every figure binary, example and
+//! integration test hand-rolled the same wiring — build a
+//! [`MachineConfig`], look up a [`Workload`], thread the replacement
+//! policy and the optional [`CpaConfig`] into [`System::from_workload`],
+//! and keep a separate [`IsolationCache`] around for the relative
+//! metrics. [`SimEngine`] owns that tracegen → `cmpsim::System` →
+//! `CpaController` pipeline behind a builder, so call sites state *what*
+//! they simulate and nothing else.
+//!
+//! Dispatch stays enum-based end to end ([`PolicyKind`] / [`CpaConfig`]):
+//! there are no trait objects anywhere on the per-access hot path, which
+//! keeps the door open for the planned sharding/batching work.
+//!
+//! The experiment-fleet helpers live here too: [`parallel_map`] fans
+//! independent simulations out over hardware threads, and the engine
+//! carries a shared [`IsolationCache`] so every relative metric divides
+//! by a memoised isolation run instead of recomputing it.
+//!
+//! ```
+//! use plru_repro::prelude::*;
+//!
+//! let engine = SimEngine::builder()
+//!     .cores(2)
+//!     .insts(50_000) // keep the doctest quick
+//!     .cpa(CpaConfig::m_nru(0.75))
+//!     .build();
+//! let result = engine.run_named("2T_05").expect("Table II workload");
+//! assert!(result.ipc(0) > 0.0 && result.ipc(1) > 0.0);
+//! ```
+
+use cachesim::PolicyKind;
+use cmpsim::{MachineConfig, SimResult, System, WorkloadMetrics};
+use plru_core::CpaConfig;
+use std::sync::Arc;
+use tracegen::{BenchmarkProfile, Workload};
+
+pub use cmpsim::runner::{parallel_map, IsolationCache};
+
+/// Builder for [`SimEngine`]. Defaults to the paper's 2-core baseline
+/// machine with an unpartitioned LRU L2 and seed salt 0.
+#[derive(Debug, Clone)]
+pub struct SimEngineBuilder {
+    cfg: MachineConfig,
+    policy: Option<PolicyKind>,
+    cpa: Option<CpaConfig>,
+    seed_salt: u64,
+    isolation: Option<Arc<IsolationCache>>,
+}
+
+impl Default for SimEngineBuilder {
+    fn default() -> Self {
+        SimEngineBuilder {
+            cfg: MachineConfig::paper_baseline(2),
+            policy: None,
+            cpa: None,
+            seed_salt: 0,
+            isolation: None,
+        }
+    }
+}
+
+impl SimEngineBuilder {
+    /// Replace the whole machine description.
+    pub fn machine(mut self, cfg: MachineConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Set the core count (one thread per core, as in the paper).
+    pub fn cores(mut self, num_cores: usize) -> Self {
+        self.cfg.num_cores = num_cores;
+        self
+    }
+
+    /// Set the committed-instruction target per thread.
+    pub fn insts(mut self, insts_target: u64) -> Self {
+        self.cfg.insts_target = insts_target;
+        self
+    }
+
+    /// Set the base RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Resize the shared L2 (Figure 8 sweeps 512 KB / 1 MB / 2 MB).
+    ///
+    /// # Panics
+    /// If the size is not a valid geometry at the baseline's 16 ways and
+    /// 128 B lines.
+    pub fn l2_size(mut self, bytes: u64) -> Self {
+        self.cfg = self
+            .cfg
+            .with_l2_size(bytes)
+            .expect("valid L2 size for the baseline shape");
+        self
+    }
+
+    /// Set the L2 replacement policy explicitly (the Figure 6 baselines
+    /// run it unpartitioned). With a CPA also set, `build` checks the two
+    /// agree — in either call order.
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Enable a dynamic CPA. Unless `policy` names one explicitly, the L2
+    /// replacement policy follows the configuration's profiling policy
+    /// (the paper always pairs them).
+    pub fn cpa(mut self, cpa: CpaConfig) -> Self {
+        self.cpa = Some(cpa);
+        self
+    }
+
+    /// Perturb the per-core trace seeds (repeat runs of one benchmark
+    /// diverge with different salts).
+    pub fn seed_salt(mut self, salt: u64) -> Self {
+        self.seed_salt = salt;
+        self
+    }
+
+    /// Share an isolation-IPC memo across engines (one experiment fleet,
+    /// one cache).
+    pub fn isolation(mut self, cache: Arc<IsolationCache>) -> Self {
+        self.isolation = Some(cache);
+        self
+    }
+
+    /// Finish the builder.
+    ///
+    /// # Panics
+    /// If both a CPA and an explicit `policy` were set and they name
+    /// different replacement policies (regardless of call order) — the
+    /// paper never mixes the profiling policy and the L2 policy, and
+    /// `System` enforces the same invariant.
+    pub fn build(self) -> SimEngine {
+        let policy = match (&self.cpa, self.policy) {
+            (Some(cpa), Some(explicit)) => {
+                assert_eq!(
+                    cpa.policy,
+                    explicit,
+                    "CPA profiling policy and L2 policy must match (got {} vs {explicit:?})",
+                    cpa.acronym(),
+                );
+                explicit
+            }
+            (Some(cpa), None) => cpa.policy,
+            (None, Some(explicit)) => explicit,
+            (None, None) => PolicyKind::Lru,
+        };
+        SimEngine {
+            cfg: self.cfg,
+            policy,
+            cpa: self.cpa,
+            seed_salt: self.seed_salt,
+            isolation: self.isolation.unwrap_or_default(),
+        }
+    }
+}
+
+/// A configured simulation pipeline: machine + replacement policy +
+/// optional dynamic CPA + shared isolation memo. Cheap to clone (the
+/// isolation cache is shared).
+#[derive(Debug, Clone)]
+pub struct SimEngine {
+    cfg: MachineConfig,
+    policy: PolicyKind,
+    cpa: Option<CpaConfig>,
+    seed_salt: u64,
+    isolation: Arc<IsolationCache>,
+}
+
+impl Default for SimEngine {
+    fn default() -> Self {
+        Self::builder().build()
+    }
+}
+
+impl SimEngine {
+    /// Start a builder with the paper-baseline defaults.
+    pub fn builder() -> SimEngineBuilder {
+        SimEngineBuilder::default()
+    }
+
+    /// The machine this engine simulates on.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The L2 replacement policy.
+    pub fn policy(&self) -> PolicyKind {
+        self.policy
+    }
+
+    /// The dynamic CPA configuration, if any.
+    pub fn cpa(&self) -> Option<&CpaConfig> {
+        self.cpa.as_ref()
+    }
+
+    /// The shared isolation-IPC memo.
+    pub fn isolation_cache(&self) -> &Arc<IsolationCache> {
+        &self.isolation
+    }
+
+    /// Build (but do not run) the system for a workload — for callers
+    /// that need mid-run access, e.g. the controller's partition history.
+    pub fn system(&self, workload: &Workload) -> System {
+        System::from_workload(
+            &self.cfg,
+            workload,
+            self.policy,
+            self.cpa.clone(),
+            self.seed_salt,
+        )
+    }
+
+    /// Build (but do not run) the system for an explicit benchmark list.
+    pub fn system_from_profiles(&self, profiles: &[BenchmarkProfile]) -> System {
+        System::from_profiles(
+            &self.cfg,
+            profiles,
+            self.policy,
+            self.cpa.clone(),
+            self.seed_salt,
+        )
+    }
+
+    /// Run one workload to completion.
+    pub fn run(&self, workload: &Workload) -> SimResult {
+        self.system(workload).run()
+    }
+
+    /// Run a Table II workload by name (`"2T_05"`, `"8T_01"`, ...);
+    /// `None` for unknown names.
+    pub fn run_named(&self, name: &str) -> Option<SimResult> {
+        tracegen::workload(name).map(|wl| self.run(&wl))
+    }
+
+    /// Run an explicit benchmark list (one per core).
+    pub fn run_profiles(&self, profiles: &[BenchmarkProfile]) -> SimResult {
+        self.system_from_profiles(profiles).run()
+    }
+
+    /// Run many workloads across hardware threads, preserving order.
+    pub fn run_many(&self, workloads: &[Workload]) -> Vec<SimResult> {
+        parallel_map(workloads, |wl| self.run(wl))
+    }
+
+    /// Memoised isolation IPC of one benchmark (alone, full L2, this
+    /// engine's policy) — the `IPC_isolation` every relative metric
+    /// divides by.
+    pub fn isolation_ipc(&self, benchmark: &str) -> f64 {
+        self.isolation
+            .isolation_ipc(&self.cfg, benchmark, self.policy)
+    }
+
+    /// Isolation IPCs for a workload's benchmarks, in thread order.
+    pub fn isolation_ipcs(&self, benchmarks: &[String]) -> Vec<f64> {
+        self.isolation
+            .isolation_ipcs(&self.cfg, benchmarks, self.policy)
+    }
+
+    /// The paper's three metrics for a finished run of `workload`.
+    pub fn metrics(&self, workload: &Workload, result: &SimResult) -> WorkloadMetrics {
+        WorkloadMetrics::compute(&result.ipcs(), &self.isolation_ipcs(&workload.benchmarks))
+    }
+
+    /// Run one workload and compute its metrics in one step.
+    pub fn run_with_metrics(&self, workload: &Workload) -> (SimResult, WorkloadMetrics) {
+        let result = self.run(workload);
+        let metrics = self.metrics(workload, &result);
+        (result, metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SimEngineBuilder {
+        SimEngine::builder().insts(40_000)
+    }
+
+    #[test]
+    fn builder_defaults_are_the_paper_baseline() {
+        let e = SimEngine::default();
+        assert_eq!(e.config().num_cores, 2);
+        assert_eq!(e.policy(), PolicyKind::Lru);
+        assert!(e.cpa().is_none());
+    }
+
+    #[test]
+    fn cpa_sets_the_matching_policy() {
+        let e = quick().cpa(CpaConfig::m_bt()).build();
+        assert_eq!(e.policy(), PolicyKind::Bt);
+        assert_eq!(e.cpa().unwrap().acronym(), "M-BT");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_policy_after_cpa_panics() {
+        let _ = quick()
+            .cpa(CpaConfig::m_nru(0.75))
+            .policy(PolicyKind::Lru)
+            .build();
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_policy_before_cpa_panics_too() {
+        // The check must not depend on builder call order.
+        let _ = quick()
+            .policy(PolicyKind::Lru)
+            .cpa(CpaConfig::m_nru(0.75))
+            .build();
+    }
+
+    #[test]
+    fn matching_explicit_policy_and_cpa_is_fine() {
+        let e = quick()
+            .policy(PolicyKind::Nru)
+            .cpa(CpaConfig::m_nru(0.75))
+            .build();
+        assert_eq!(e.policy(), PolicyKind::Nru);
+    }
+
+    #[test]
+    fn run_named_rejects_unknown_workloads() {
+        assert!(quick().build().run_named("9T_99").is_none());
+    }
+
+    #[test]
+    fn engines_share_an_isolation_cache() {
+        let shared = Arc::new(IsolationCache::new());
+        let a = quick().isolation(shared.clone()).build();
+        let b = quick()
+            .isolation(shared.clone())
+            .policy(PolicyKind::Lru)
+            .build();
+        let x = a.isolation_ipc("gzip");
+        let y = b.isolation_ipc("gzip");
+        assert_eq!(x, y);
+        assert_eq!(shared.len(), 1, "second engine hit the shared memo");
+    }
+
+    #[test]
+    fn run_many_preserves_workload_order() {
+        let wls: Vec<Workload> = ["2T_01", "2T_02", "2T_03"]
+            .iter()
+            .map(|n| tracegen::workload(n).unwrap())
+            .collect();
+        let engine = quick().insts(20_000).build();
+        let fleet = engine.run_many(&wls);
+        for (wl, r) in wls.iter().zip(&fleet) {
+            let solo = engine.run(wl);
+            assert_eq!(solo.ipcs(), r.ipcs(), "{} out of order", wl.name);
+        }
+    }
+}

@@ -15,20 +15,26 @@
 //!   MinMisses selection, enforcement translation, dynamic controller.
 //! * [`hwmodel`] — Table I complexity, ATD area and Figure 9 power models.
 //!
+//! It also hosts the [`engine`] layer: every figure/table binary, example
+//! and integration test constructs its simulations through
+//! [`engine::SimEngine`] rather than wiring the member crates by hand.
+//!
 //! ## Quickstart
 //!
 //! ```
 //! use plru_repro::prelude::*;
 //!
 //! // A 2-core CMP with the paper's machine, NRU L2 and the M-0.75N CPA.
-//! let mut cfg = MachineConfig::paper_baseline(2);
-//! cfg.insts_target = 50_000; // keep the doctest quick
-//! let wl = workload("2T_05").unwrap();
-//! let cpa = CpaConfig::m_nru(0.75);
-//! let mut sys = System::from_workload(&cfg, &wl, cpa.policy, Some(cpa), 0);
-//! let result = sys.run();
+//! let engine = SimEngine::builder()
+//!     .cores(2)
+//!     .insts(50_000) // keep the doctest quick
+//!     .cpa(CpaConfig::m_nru(0.75))
+//!     .build();
+//! let result = engine.run_named("2T_05").expect("a Table II workload");
 //! assert!(result.ipc(0) > 0.0 && result.ipc(1) > 0.0);
 //! ```
+
+pub mod engine;
 
 pub use cachesim;
 pub use cmpsim;
@@ -36,12 +42,15 @@ pub use hwmodel;
 pub use plru_core;
 pub use tracegen;
 
+pub use engine::{SimEngine, SimEngineBuilder};
+
 /// One-stop imports for examples and tests.
 pub mod prelude {
+    pub use crate::engine::{parallel_map, IsolationCache, SimEngine, SimEngineBuilder};
     pub use cachesim::{Cache, CacheConfig, CacheGeometry, Enforcement, PolicyKind, WayMask};
     pub use cmpsim::{
-        harmonic_mean_of_relative_ipc, throughput, weighted_speedup, IsolationCache,
-        MachineConfig, SimResult, System, WorkloadMetrics,
+        harmonic_mean_of_relative_ipc, throughput, weighted_speedup, MachineConfig, SimResult,
+        System, WorkloadMetrics,
     };
     pub use hwmodel::{CacheParams, ComplexityTable, PowerModel, RunActivity};
     pub use plru_core::{CpaConfig, CpaController, Profiler, Sdh};

@@ -1,31 +1,28 @@
 //! End-to-end integration tests: full CPA-on-CMP simulations with fixed
 //! seeds, checking determinism, metric sanity and the qualitative
-//! relationships the paper's figures rest on (at smoke-test scale).
+//! relationships the paper's figures rest on (at smoke-test scale). All
+//! simulations are constructed through the `SimEngine` layer.
 
 use plru_repro::prelude::*;
 
-fn cfg(cores: usize, insts: u64) -> MachineConfig {
-    let mut c = MachineConfig::paper_baseline(cores);
-    c.insts_target = insts;
-    c
+fn quick(cores: usize, insts: u64) -> SimEngineBuilder {
+    SimEngine::builder().cores(cores).insts(insts)
 }
 
 #[test]
 fn every_figure7_config_runs_on_every_core_count() {
     for threads in [2usize, 4, 8] {
-        let machine = cfg(threads, 25_000);
         let wl = tracegen::workloads_with_threads(threads)
             .into_iter()
             .next()
             .unwrap();
         for cpa in CpaConfig::figure7_set() {
-            let mut sys = System::from_workload(&machine, &wl, cpa.policy, Some(cpa.clone()), 0);
-            let r = sys.run();
-            assert_eq!(r.cores.len(), threads, "{}", cpa.acronym());
+            let acronym = cpa.acronym();
+            let r = quick(threads, 25_000).cpa(cpa).build().run(&wl);
+            assert_eq!(r.cores.len(), threads, "{acronym}");
             assert!(
                 r.ipcs().iter().all(|&i| i > 0.0 && i < 8.0),
-                "{} produced implausible IPCs {:?}",
-                cpa.acronym(),
+                "{acronym} produced implausible IPCs {:?}",
                 r.ipcs()
             );
         }
@@ -34,14 +31,13 @@ fn every_figure7_config_runs_on_every_core_count() {
 
 #[test]
 fn identical_seeds_reproduce_identical_results() {
-    let machine = cfg(2, 40_000);
     let wl = workload("2T_07").unwrap();
-    let cpa = CpaConfig::m_bt();
-    let run = || {
-        System::from_workload(&machine, &wl, cpa.policy, Some(cpa.clone()), 42).run()
-    };
-    let a = run();
-    let b = run();
+    let engine = quick(2, 40_000)
+        .cpa(CpaConfig::m_bt())
+        .seed_salt(42)
+        .build();
+    let a = engine.run(&wl);
+    let b = engine.run(&wl);
     assert_eq!(a.ipcs(), b.ipcs());
     assert_eq!(a.final_allocation, b.final_allocation);
     assert_eq!(a.total_cycles, b.total_cycles);
@@ -50,10 +46,9 @@ fn identical_seeds_reproduce_identical_results() {
 
 #[test]
 fn different_seed_salts_change_the_interleaving() {
-    let machine = cfg(2, 40_000);
     let wl = workload("2T_07").unwrap();
-    let a = System::from_workload(&machine, &wl, PolicyKind::Lru, None, 1).run();
-    let b = System::from_workload(&machine, &wl, PolicyKind::Lru, None, 2).run();
+    let a = quick(2, 40_000).seed_salt(1).build().run(&wl);
+    let b = quick(2, 40_000).seed_salt(2).build().run(&wl);
     assert_ne!(a.ipcs(), b.ipcs());
 }
 
@@ -61,12 +56,11 @@ fn different_seed_salts_change_the_interleaving() {
 fn isolation_ipc_upper_bounds_shared_ipc() {
     // Running alongside a memory hog can only hurt: IPC_cmp <= IPC_iso
     // (up to a small tolerance for lucky interleavings).
-    let machine = cfg(2, 150_000);
-    let iso = IsolationCache::new();
+    let engine = quick(2, 150_000).build();
     let wl = workload("2T_15").unwrap(); // lucas + mcf
-    let r = System::from_workload(&machine, &wl, PolicyKind::Lru, None, 0).run();
+    let r = engine.run(&wl);
     for (i, bench) in wl.benchmarks.iter().enumerate() {
-        let solo = iso.isolation_ipc(&machine, bench, PolicyKind::Lru);
+        let solo = engine.isolation_ipc(bench);
         assert!(
             r.ipc(i) <= solo * 1.02,
             "{bench}: shared {} vs isolation {}",
@@ -82,10 +76,12 @@ fn partitioning_helps_a_small_cache_more_than_a_big_one() {
     // workload: relative gains shrink as the L2 grows.
     let wl = workload("2T_04").unwrap(); // vpr + art
     let gain_at = |bytes: u64| -> f64 {
-        let machine = cfg(2, 250_000).with_l2_size(bytes).unwrap();
-        let base = System::from_workload(&machine, &wl, PolicyKind::Lru, None, 0).run();
-        let cpa = CpaConfig::m_l();
-        let part = System::from_workload(&machine, &wl, PolicyKind::Lru, Some(cpa), 0).run();
+        let base = quick(2, 250_000).l2_size(bytes).build().run(&wl);
+        let part = quick(2, 250_000)
+            .l2_size(bytes)
+            .cpa(CpaConfig::m_l())
+            .build()
+            .run(&wl);
         throughput(&part.ipcs()) / throughput(&base.ipcs())
     };
     let small = gain_at(512 * 1024);
@@ -100,14 +96,14 @@ fn partitioning_helps_a_small_cache_more_than_a_big_one() {
 fn dynamic_cpa_tracks_workload_mix() {
     // A cache-hungry thread next to a streaming thread must end up with
     // the majority of the ways.
-    let machine = cfg(2, 400_000);
     let profiles = vec![
         benchmark("vpr").unwrap(),  // mid-size working set, reuse-heavy
         benchmark("swim").unwrap(), // streaming
     ];
-    let cpa = CpaConfig::m_l();
-    let mut sys = cmpsim::System::from_profiles(&machine, &profiles, cpa.policy, Some(cpa), 0);
-    let r = sys.run();
+    let r = quick(2, 400_000)
+        .cpa(CpaConfig::m_l())
+        .build()
+        .run_profiles(&profiles);
     assert!(r.intervals >= 1, "needs at least one repartition");
     assert!(
         r.final_allocation[0] > r.final_allocation[1],
@@ -118,12 +114,9 @@ fn dynamic_cpa_tracks_workload_mix() {
 
 #[test]
 fn workload_metrics_are_mutually_consistent() {
-    let machine = cfg(2, 60_000);
-    let iso = IsolationCache::new();
+    let engine = quick(2, 60_000).build();
     let wl = workload("2T_21").unwrap(); // crafty + eon (both friendly)
-    let r = System::from_workload(&machine, &wl, PolicyKind::Lru, None, 0).run();
-    let iso_ipcs = iso.isolation_ipcs(&machine, &wl.benchmarks, PolicyKind::Lru);
-    let m = WorkloadMetrics::compute(&r.ipcs(), &iso_ipcs);
+    let (_, m) = engine.run_with_metrics(&wl);
     assert!(m.throughput > 0.0);
     assert!(m.weighted_speedup <= 2.0 * 1.02, "WS bounded by N");
     assert!(m.harmonic_mean <= 1.0 * 1.02, "hmean bounded by 1");
@@ -132,9 +125,11 @@ fn workload_metrics_are_mutually_consistent() {
 
 #[test]
 fn simresult_serialises() {
-    let machine = cfg(2, 20_000);
-    let wl = workload("2T_01").unwrap();
-    let r = System::from_workload(&machine, &wl, PolicyKind::Nru, None, 0).run();
+    let r = quick(2, 20_000)
+        .policy(PolicyKind::Nru)
+        .build()
+        .run_named("2T_01")
+        .unwrap();
     let json = serde_json::to_string(&r).unwrap();
     let back: SimResult = serde_json::from_str(&json).unwrap();
     for (a, b) in back.ipcs().iter().zip(r.ipcs()) {

@@ -2,9 +2,9 @@
 //! policy, masks/counters/vectors must confine evictions, keep every
 //! thread at least one way, and never corrupt cache bookkeeping.
 
-use plru_repro::prelude::*;
 use plru_core::enforce::{build_enforcement, round_to_subtree_sizes, subtree_masks};
 use plru_core::minmisses::{min_misses_dp, predicted_misses};
+use plru_repro::prelude::*;
 use proptest::prelude::*;
 
 fn small_cache(policy: PolicyKind, cores: usize) -> Cache {
@@ -141,9 +141,13 @@ fn all_paper_configs_build_valid_enforcement() {
                 // A pseudo-random feasible allocation.
                 let mut alloc = vec![1usize; n];
                 let mut left = 16 - n;
-                let mut x = trial.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(n as u64);
+                let mut x = trial
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(n as u64);
                 while left > 0 {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     alloc[(x >> 33) as usize % n] += 1;
                     left -= 1;
                 }

@@ -2,9 +2,9 @@
 //! stack property (Mattson et al.) that the whole SDH approach rests on,
 //! and on the paper's bounds for the eSDH estimates.
 
-use plru_repro::prelude::*;
 use plru_core::profiler::{BtProfiler, LruProfiler, NruProfiler};
 use plru_core::NruUpdateMode;
+use plru_repro::prelude::*;
 use proptest::prelude::*;
 
 /// A small fully-sampled geometry: 8 sets x 8 ways x 64 B lines.
@@ -115,7 +115,10 @@ fn esdh_tracks_sdh_shape_on_a_real_benchmark() {
         bt.observe(rec.addr);
     }
     let exact = lru.sdh().miss_curve();
-    for (label, est) in [("NRU", nru.sdh().miss_curve()), ("BT", bt.sdh().miss_curve())] {
+    for (label, est) in [
+        ("NRU", nru.sdh().miss_curve()),
+        ("BT", bt.sdh().miss_curve()),
+    ] {
         // Identical totals are not expected; correlated *shape* is: the
         // estimated curve must be strictly informative (not flat) and its
         // knee must sit within the right half of the way axis relative to
@@ -133,9 +136,6 @@ fn esdh_tracks_sdh_shape_on_a_real_benchmark() {
             (k_exact - k_est).abs() <= 8,
             "{label} knee {k_est} too far from exact {k_exact}\nexact {exact:?}\nest   {est:?}"
         );
-        assert!(
-            est[16] < est[0],
-            "{label} curve is flat: {est:?}"
-        );
+        assert!(est[16] < est[0], "{label} curve is flat: {est:?}");
     }
 }
