@@ -2,8 +2,16 @@
 //! and victim-selection throughput on the paper's 16-way L2 shape. This is
 //! the software analogue of Table I(b)'s activity comparison — BT touches
 //! the fewest bits and should be the fastest to update.
+//!
+//! The `cache_access` and `cache_access_partitioned` groups drive the
+//! batched kernel ([`Cache::access_batch`]) over an 8192-access chunk —
+//! the way every simulation now reaches the cache — and are what
+//! `BENCH_*.json` baselines and the CI bench gate track. The
+//! `cache_access_scalar` group runs the same stream through the scalar
+//! [`Cache::access`] oracle to document the dispatch/plumbing overhead the
+//! batch amortizes.
 
-use cachesim::{Cache, CacheConfig, CacheGeometry, PolicyKind, WayMask};
+use cachesim::{Access, BatchStats, Cache, CacheConfig, CacheGeometry, PolicyKind, WayMask};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn geom() -> CacheGeometry {
@@ -23,22 +31,73 @@ fn addresses(n: usize) -> Vec<u64> {
         .collect()
 }
 
+/// The same stream as a batched single-core access slice.
+fn access_stream(n: usize, cores: usize) -> Vec<Access> {
+    addresses(n)
+        .into_iter()
+        .enumerate()
+        .map(|(i, a)| Access::read(i % cores, a))
+        .collect()
+}
+
+fn cache_for(policy: PolicyKind, num_cores: usize) -> Cache {
+    Cache::new(CacheConfig {
+        geometry: geom(),
+        policy,
+        num_cores,
+        seed: 1,
+    })
+}
+
+const ALL_POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Lru,
+    PolicyKind::Nru,
+    PolicyKind::Bt,
+    PolicyKind::Random,
+];
+
 fn bench_policy_access(c: &mut Criterion) {
-    let addrs = addresses(8192);
+    let accesses = access_stream(8192, 1);
     let mut group = c.benchmark_group("cache_access");
-    for policy in [
-        PolicyKind::Lru,
-        PolicyKind::Nru,
-        PolicyKind::Bt,
-        PolicyKind::Random,
-    ] {
+    for policy in ALL_POLICIES {
         group.bench_function(format!("{policy:?}"), |b| {
-            let mut cache = Cache::new(CacheConfig {
-                geometry: geom(),
-                policy,
-                num_cores: 1,
-                seed: 1,
-            });
+            let mut cache = cache_for(policy, 1);
+            b.iter(|| {
+                let mut stats = BatchStats::default();
+                cache.access_batch(black_box(&accesses), &mut stats);
+                black_box(stats.hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_masked_access(c: &mut Criterion) {
+    let accesses = access_stream(8192, 2);
+    let mut group = c.benchmark_group("cache_access_partitioned");
+    for policy in [PolicyKind::Lru, PolicyKind::Nru, PolicyKind::Bt] {
+        group.bench_function(format!("{policy:?}_masked"), |b| {
+            let mut cache = cache_for(policy, 2);
+            cache.set_enforcement(cachesim::Enforcement::masks(vec![
+                WayMask::contiguous(0, 10),
+                WayMask::contiguous(10, 6),
+            ]));
+            b.iter(|| {
+                let mut stats = BatchStats::default();
+                cache.access_batch(black_box(&accesses), &mut stats);
+                black_box(stats.hits)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scalar_access(c: &mut Criterion) {
+    let addrs = addresses(8192);
+    let mut group = c.benchmark_group("cache_access_scalar");
+    for policy in ALL_POLICIES {
+        group.bench_function(format!("{policy:?}"), |b| {
+            let mut cache = cache_for(policy, 1);
             b.iter(|| {
                 for &a in &addrs {
                     black_box(cache.access(0, a, false));
@@ -49,30 +108,10 @@ fn bench_policy_access(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_masked_access(c: &mut Criterion) {
-    let addrs = addresses(8192);
-    let mut group = c.benchmark_group("cache_access_partitioned");
-    for policy in [PolicyKind::Lru, PolicyKind::Nru, PolicyKind::Bt] {
-        group.bench_function(format!("{policy:?}_masked"), |b| {
-            let mut cache = Cache::new(CacheConfig {
-                geometry: geom(),
-                policy,
-                num_cores: 2,
-                seed: 1,
-            });
-            cache.set_enforcement(cachesim::Enforcement::masks(vec![
-                WayMask::contiguous(0, 10),
-                WayMask::contiguous(10, 6),
-            ]));
-            b.iter(|| {
-                for (i, &a) in addrs.iter().enumerate() {
-                    black_box(cache.access(i & 1, a, false));
-                }
-            })
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_policy_access, bench_masked_access);
+criterion_group!(
+    benches,
+    bench_policy_access,
+    bench_masked_access,
+    bench_scalar_access
+);
 criterion_main!(benches);

@@ -1,0 +1,285 @@
+//! CI bench-regression gate.
+//!
+//! Compares a fresh `policies` bench run against a committed baseline and
+//! fails (exit code 1) when any benchmark id regressed by more than the
+//! allowed fraction. Both file shapes are accepted:
+//!
+//! * the committed `BENCH_*.json` baselines (one object with a `results`
+//!   array of `{"id": ..., "mean_ns": ...}` records), and
+//! * the raw JSON-lines stream the criterion stub appends when
+//!   `CRITERION_STUB_JSON` is set (one record per line).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate --baseline BENCH_1.json --current bench_current.jsonl \
+//!            [--max-regression 0.15]
+//! ```
+//!
+//! Ids present in the baseline but missing from the current run fail the
+//! gate (a silently deleted benchmark is not a passing benchmark); ids only
+//! present in the current run are reported but ignored.
+
+use std::process::ExitCode;
+
+/// One benchmark measurement: id and mean ns per iteration.
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    id: String,
+    mean_ns: f64,
+}
+
+/// Extract `(id, mean_ns)` pairs from either supported file shape.
+///
+/// A tolerant scanner rather than a full JSON parse: every record carries
+/// an `"id"` string followed by a `"mean_ns"` number, which is all the gate
+/// compares. Works identically on the wrapped baseline object and on raw
+/// JSON lines.
+fn parse_records(text: &str) -> Vec<Record> {
+    let mut records = Vec::new();
+    let mut rest = text;
+    while let Some(idpos) = rest.find("\"id\"") {
+        rest = &rest[idpos + 4..];
+        let Some(open) = rest.find('"') else { break };
+        let Some(close) = rest[open + 1..].find('"') else {
+            break;
+        };
+        let id = rest[open + 1..open + 1 + close].to_string();
+        rest = &rest[open + 1 + close..];
+        let Some(meanpos) = rest.find("\"mean_ns\"") else {
+            break;
+        };
+        rest = &rest[meanpos + 9..];
+        let Some(colon) = rest.find(':') else { break };
+        let num = rest[colon + 1..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect::<String>();
+        match num.parse::<f64>() {
+            Ok(mean_ns) => records.push(Record { id, mean_ns }),
+            Err(_) => break,
+        }
+        rest = &rest[colon + 1..];
+    }
+    records
+}
+
+/// Compare current means against the baseline. Returns human-readable
+/// failure lines; empty means the gate passes.
+fn gate(baseline: &[Record], current: &[Record], max_regression: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in baseline {
+        match current.iter().find(|r| r.id == base.id) {
+            None => failures.push(format!(
+                "{}: present in baseline but missing from the current run",
+                base.id
+            )),
+            Some(cur) => {
+                let ratio = cur.mean_ns / base.mean_ns;
+                if ratio > 1.0 + max_regression {
+                    failures.push(format!(
+                        "{}: {:.1} ns vs baseline {:.1} ns (+{:.1}% > +{:.1}% allowed)",
+                        base.id,
+                        cur.mean_ns,
+                        base.mean_ns,
+                        (ratio - 1.0) * 100.0,
+                        max_regression * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate --baseline <BENCH_N.json> --current <bench.jsonl> \
+         [--max-regression <fraction, default 0.15>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut max_regression = 0.15f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = args.next(),
+            "--current" => current_path = args.next(),
+            "--max-regression" => {
+                max_regression = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        usage();
+    };
+
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = parse_records(&read(&baseline_path));
+    let current = parse_records(&read(&current_path));
+    if baseline.is_empty() {
+        eprintln!("bench_gate: no records found in baseline {baseline_path}");
+        return ExitCode::from(2);
+    }
+
+    println!(
+        "bench_gate: {current_path} vs {baseline_path} (max regression +{:.0}%):",
+        max_regression * 100.0
+    );
+    for base in &baseline {
+        if let Some(cur) = current.iter().find(|r| r.id == base.id) {
+            println!(
+                "  {:<40} {:>12.1} ns  baseline {:>12.1} ns  ({:+.1}%)",
+                base.id,
+                cur.mean_ns,
+                base.mean_ns,
+                (cur.mean_ns / base.mean_ns - 1.0) * 100.0
+            );
+        }
+    }
+    for cur in &current {
+        if !baseline.iter().any(|b| b.id == cur.id) {
+            println!(
+                "  {:<40} {:>12.1} ns  (new, not gated)",
+                cur.id, cur.mean_ns
+            );
+        }
+    }
+
+    let failures = gate(&baseline, &current, max_regression);
+    if failures.is_empty() {
+        println!("bench_gate: PASS ({} ids within budget)", baseline.len());
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("bench_gate: FAIL {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = r#"{
+      "bench": "policies",
+      "results": [
+        {"id": "cache_access/Lru", "mean_ns": 100.0, "samples": 20},
+        {"id": "cache_access/Nru", "mean_ns": 200.0, "samples": 20}
+      ]
+    }"#;
+
+    #[test]
+    fn parses_wrapped_baseline_objects() {
+        let r = parse_records(BASELINE);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].id, "cache_access/Lru");
+        assert_eq!(r[0].mean_ns, 100.0);
+        assert_eq!(r[1].mean_ns, 200.0);
+    }
+
+    #[test]
+    fn parses_json_lines() {
+        let text = "{\"id\":\"a/b\",\"mean_ns\":12.5,\"samples\":20}\n\
+                    {\"id\":\"c/d\",\"mean_ns\":1e3}\n";
+        let r = parse_records(text);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].mean_ns, 12.5);
+        assert_eq!(r[1].id, "c/d");
+        assert_eq!(r[1].mean_ns, 1000.0);
+    }
+
+    #[test]
+    fn gate_passes_within_budget() {
+        let base = parse_records(BASELINE);
+        let current = vec![
+            Record {
+                id: "cache_access/Lru".into(),
+                mean_ns: 114.0,
+            },
+            Record {
+                id: "cache_access/Nru".into(),
+                mean_ns: 150.0,
+            },
+        ];
+        assert!(gate(&base, &current, 0.15).is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_regression() {
+        let base = parse_records(BASELINE);
+        let current = vec![
+            Record {
+                id: "cache_access/Lru".into(),
+                mean_ns: 116.0,
+            },
+            Record {
+                id: "cache_access/Nru".into(),
+                mean_ns: 200.0,
+            },
+        ];
+        let failures = gate(&base, &current, 0.15);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("cache_access/Lru"));
+    }
+
+    #[test]
+    fn gate_fails_on_missing_id() {
+        let base = parse_records(BASELINE);
+        let current = vec![Record {
+            id: "cache_access/Lru".into(),
+            mean_ns: 100.0,
+        }];
+        let failures = gate(&base, &current, 0.15);
+        assert_eq!(failures.len(), 1);
+        assert!(failures[0].contains("missing"));
+    }
+
+    #[test]
+    fn extra_current_ids_are_ignored() {
+        let base = parse_records(BASELINE);
+        let current = vec![
+            Record {
+                id: "cache_access/Lru".into(),
+                mean_ns: 90.0,
+            },
+            Record {
+                id: "cache_access/Nru".into(),
+                mean_ns: 190.0,
+            },
+            Record {
+                id: "brand/new".into(),
+                mean_ns: 1.0,
+            },
+        ];
+        assert!(gate(&base, &current, 0.15).is_empty());
+    }
+
+    #[test]
+    fn committed_baselines_parse() {
+        for path in ["../../BENCH_0.json", "../../BENCH_1.json"] {
+            let text = std::fs::read_to_string(path).unwrap();
+            let records = parse_records(&text);
+            assert!(
+                records.iter().any(|r| r.id == "cache_access/Lru"),
+                "{path} must gate the Lru hot path"
+            );
+            assert!(records.iter().all(|r| r.mean_ns > 0.0));
+        }
+    }
+}

@@ -1,12 +1,28 @@
 //! The composed cache: tags + replacement policy + partition enforcement +
 //! statistics.
+//!
+//! ## Hot-path layout and the batched kernel
+//!
+//! Per-set state is stored as packed structure-of-arrays planes: a flat tag
+//! row per set, one valid-bit word per set, flat owner bytes, and the
+//! policies' own packed planes (LRU order rows, NRU used-bit words, BT tree
+//! words). Tag lookup is a branchless compare over the set's tag row that
+//! produces a match bitmask, and invalid-way fills come straight from the
+//! valid word's complement — no per-way branching anywhere.
+//!
+//! Both [`Cache::access`] and [`Cache::access_batch`] run the same generic
+//! per-access kernel; the batch entry point dispatches on the policy enum
+//! once per *batch* instead of once per access, which is where the ≥2×
+//! hot-loop speedup comes from. Because the two paths share one kernel,
+//! batched statistics are bit-identical to the scalar loop by construction
+//! (and property-tested to stay that way).
 
 use crate::addr::{Addr, LineAddr};
 use crate::enforcement::Enforcement;
 use crate::error::CacheError;
 use crate::geometry::CacheGeometry;
 use crate::mask::WayMask;
-use crate::policy::{PolicyKind, PolicyState};
+use crate::policy::{BtVectors, PolicyKind, PolicyState, ReplKernel};
 use crate::stats::CacheStats;
 
 /// Construction parameters for a [`Cache`].
@@ -36,22 +52,83 @@ pub struct AccessOutcome {
     pub evicted: Option<(LineAddr, u8)>,
 }
 
+/// One element of a batched access stream, 16 bytes packed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Byte address.
+    pub addr: Addr,
+    /// Issuing core.
+    pub core: u8,
+    /// Is this a write?
+    pub write: bool,
+}
+
+impl Access {
+    /// An access from `core` to `addr`.
+    #[inline]
+    pub fn new(core: usize, addr: Addr, write: bool) -> Self {
+        debug_assert!(core < 256);
+        Access {
+            addr,
+            core: core as u8,
+            write,
+        }
+    }
+
+    /// A read access from `core` to `addr`.
+    #[inline]
+    pub fn read(core: usize, addr: Addr) -> Self {
+        Access::new(core, addr, false)
+    }
+}
+
+/// Aggregate outcome of one [`Cache::access_batch`] call. The same events
+/// are also folded into the cache's per-core [`CacheStats`], exactly as the
+/// scalar path would have recorded them; this struct is the cheap
+/// batch-local summary callers use for timing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Accesses processed (hits + misses).
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Misses that evicted a valid line.
+    pub evictions: u64,
+    /// Evictions of a line owned by a different core.
+    pub cross_evictions: u64,
+}
+
+impl BatchStats {
+    /// Fold another batch summary into this one.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.cross_evictions += other.cross_evictions;
+    }
+}
+
 /// A set-associative cache with pluggable replacement and partition
 /// enforcement.
 ///
-/// Tag state lives in flat arrays indexed `set * assoc + way`; owner-core
-/// bits and per-set per-core occupancy counters are always maintained (they
-/// are only *consulted* in the `C` enforcement mode, but keeping them live
-/// makes switching enforcement mid-run — as the dynamic CPA controller does
-/// — trivially correct).
+/// Tag state lives in flat arrays indexed `set * assoc + way`, valid bits
+/// in one packed word per set; owner-core bits and per-set per-core
+/// occupancy counters are always maintained (they are only *consulted* in
+/// the `C` enforcement mode, but keeping them live makes switching
+/// enforcement mid-run — as the dynamic CPA controller does — trivially
+/// correct).
 #[derive(Debug, Clone)]
 pub struct Cache {
     geom: CacheGeometry,
     policy: PolicyState,
     num_cores: usize,
-    /// Tag of each line; meaningful only where `valid`.
+    /// Tag of each line; meaningful only where the set's valid bit is set.
     tags: Vec<u64>,
-    valid: Vec<bool>,
+    /// One packed valid-bit word per set (bit `w` = way `w`).
+    valid: Vec<u32>,
     /// Core that filled each line (the paper's "owner core bits",
     /// log2(N) per line).
     owner: Vec<u8>,
@@ -59,6 +136,163 @@ pub struct Cache {
     owner_count: Vec<u8>,
     enforcement: Enforcement,
     stats: CacheStats,
+}
+
+/// Split mutable borrows of everything the access kernel touches besides
+/// the replacement policy, so the monomorphized kernels can run against
+/// `&mut P` and the rest of the cache at once.
+struct Planes<'a> {
+    geom: &'a CacheGeometry,
+    num_cores: usize,
+    tags: &'a mut [u64],
+    valid: &'a mut [u32],
+    owner: &'a mut [u8],
+    owner_count: &'a mut [u8],
+    enforcement: &'a Enforcement,
+    stats: &'a mut CacheStats,
+}
+
+/// One access against the packed planes: the single kernel both the scalar
+/// and the batched entry points run.
+#[inline(always)]
+fn access_one<P: ReplKernel>(
+    planes: &mut Planes<'_>,
+    policy: &mut P,
+    core: usize,
+    addr: Addr,
+    write: bool,
+) -> AccessOutcome {
+    let assoc = planes.geom.assoc();
+    let set = planes.geom.set_index(addr);
+    let tag = planes.geom.tag(addr);
+    let base = set * assoc;
+    let valid = planes.valid[set];
+    let full = WayMask::full(assoc);
+
+    // Branchless tag match over the set's tag row: build a match bitmask
+    // (the compiler vectorizes this compare) and qualify it with the
+    // packed valid word.
+    let row = &planes.tags[base..base + assoc];
+    let mut match_bits = 0u32;
+    for (w, &t) in row.iter().enumerate() {
+        match_bits |= u32::from(t == tag) << w;
+    }
+    match_bits &= valid;
+
+    let scope = planes.enforcement.static_mask(core).unwrap_or(full);
+
+    if match_bits != 0 {
+        let way = match_bits.trailing_zeros() as usize;
+        policy.touch(set, way, scope);
+        planes.stats.record(core, true, write);
+        return AccessOutcome {
+            hit: true,
+            set,
+            way,
+            evicted: None,
+        };
+    }
+
+    // Miss: pick a fill way — an invalid candidate way first, then a
+    // policy victim among the candidates.
+    let (candidates, vectors): (WayMask, Option<BtVectors>) = match planes.enforcement {
+        Enforcement::None => (full, None),
+        Enforcement::Masks(masks) => (masks[core], None),
+        Enforcement::BtVectors { masks, vectors } => (masks[core], Some(vectors[core])),
+        Enforcement::OwnerCounters { quotas } => {
+            // Section II-B.1: under quota -> evict the LRU line among
+            // lines of *other* cores; at/over quota -> among own lines.
+            let mut own = 0u32;
+            for w in WayMask(valid).iter() {
+                own |= u32::from(usize::from(planes.owner[base + w]) == core) << w;
+            }
+            let others = valid & !own;
+            let under_quota =
+                usize::from(planes.owner_count[set * planes.num_cores + core]) < quotas[core];
+            let mask = if under_quota && others != 0 {
+                WayMask(others)
+            } else if own != 0 {
+                WayMask(own)
+            } else {
+                // Degenerate: no valid line fits the rule (e.g. cold
+                // set); any way is fair game — invalid-way fill will
+                // normally take over before this matters.
+                full
+            };
+            (mask, None)
+        }
+    };
+
+    let mut invalid = !valid & full.0 & candidates.0;
+    if invalid == 0
+        && matches!(
+            planes.enforcement,
+            Enforcement::OwnerCounters { .. } | Enforcement::None
+        )
+    {
+        // In the `C` scheme the candidate mask only covers valid lines; a
+        // cold set must still fill invalid ways.
+        invalid = !valid & full.0;
+    }
+
+    let (way, evicted) = if invalid != 0 {
+        (invalid.trailing_zeros() as usize, None)
+    } else {
+        let way = policy.pick(set, candidates, vectors);
+        let old_owner = planes.owner[base + way];
+        let old_line = planes.geom.line_of(set, planes.tags[base + way]);
+        (way, Some((old_line, old_owner)))
+    };
+
+    // Update ownership bookkeeping.
+    if let Some((_, old_owner)) = evicted {
+        let oc = usize::from(old_owner);
+        planes.owner_count[set * planes.num_cores + oc] -= 1;
+        if oc != core {
+            planes.stats.record_cross_eviction(core);
+        }
+    }
+    planes.owner_count[set * planes.num_cores + core] += 1;
+    planes.tags[base + way] = tag;
+    planes.valid[set] |= 1 << way;
+    planes.owner[base + way] = core as u8;
+    policy.touch(set, way, scope);
+    planes.stats.record(core, false, write);
+
+    AccessOutcome {
+        hit: false,
+        set,
+        way,
+        evicted,
+    }
+}
+
+/// The monomorphized batch loop: one policy dispatch amortized over the
+/// whole access slice. Optionally collects the missing accesses (the
+/// hierarchy forwards exactly those to the next level).
+fn run_batch<P: ReplKernel>(
+    planes: &mut Planes<'_>,
+    policy: &mut P,
+    accesses: &[Access],
+    batch: &mut BatchStats,
+    mut misses: Option<&mut Vec<Access>>,
+) {
+    for &a in accesses {
+        let out = access_one(planes, policy, usize::from(a.core), a.addr, a.write);
+        batch.accesses += 1;
+        if out.hit {
+            batch.hits += 1;
+        } else {
+            batch.misses += 1;
+            if let Some(sink) = misses.as_deref_mut() {
+                sink.push(a);
+            }
+        }
+        if let Some((_, old_owner)) = out.evicted {
+            batch.evictions += 1;
+            batch.cross_evictions += u64::from(usize::from(old_owner) != usize::from(a.core));
+        }
+    }
 }
 
 impl Cache {
@@ -79,12 +313,40 @@ impl Cache {
             ),
             num_cores: cfg.num_cores,
             tags: vec![0; lines],
-            valid: vec![false; lines],
+            valid: vec![0; cfg.geometry.num_sets()],
             owner: vec![0; lines],
             owner_count: vec![0; cfg.geometry.num_sets() * cfg.num_cores],
             enforcement: Enforcement::None,
             stats: CacheStats::new(cfg.num_cores),
         }
+    }
+
+    /// Split the cache into its policy and the remaining packed planes.
+    fn split(&mut self) -> (&mut PolicyState, Planes<'_>) {
+        let Cache {
+            geom,
+            policy,
+            num_cores,
+            tags,
+            valid,
+            owner,
+            owner_count,
+            enforcement,
+            stats,
+        } = self;
+        (
+            policy,
+            Planes {
+                geom,
+                num_cores: *num_cores,
+                tags,
+                valid,
+                owner,
+                owner_count,
+                enforcement,
+                stats,
+            },
+        )
     }
 
     /// The cache's geometry.
@@ -137,7 +399,7 @@ impl Cache {
 
     /// Reset all content, replacement state and statistics.
     pub fn reset(&mut self) {
-        self.valid.iter_mut().for_each(|v| *v = false);
+        self.valid.iter_mut().for_each(|v| *v = 0);
         self.owner_count.iter_mut().for_each(|c| *c = 0);
         self.policy.reset();
         self.stats.reset();
@@ -163,130 +425,66 @@ impl Cache {
     #[inline]
     fn find(&self, set: usize, tag: u64) -> Option<usize> {
         let base = set * self.geom.assoc();
-        (0..self.geom.assoc()).find(|&w| self.valid[base + w] && self.tags[base + w] == tag)
-    }
-
-    /// The NRU saturation scope for `core` (the owned ways under mask-style
-    /// partitioning, the whole set otherwise).
-    #[inline]
-    fn scope_for(&self, core: usize) -> WayMask {
-        self.enforcement
-            .static_mask(core)
-            .unwrap_or_else(|| WayMask::full(self.geom.assoc()))
-    }
-
-    /// The candidate ways `core` may *fill or evict* in `set` on a miss.
-    fn candidate_mask(&self, set: usize, core: usize) -> WayMask {
-        let full = WayMask::full(self.geom.assoc());
-        match &self.enforcement {
-            Enforcement::None => full,
-            Enforcement::Masks(masks) => masks[core],
-            Enforcement::BtVectors { masks, .. } => masks[core],
-            Enforcement::OwnerCounters { quotas } => {
-                // Section II-B.1: under quota -> evict the LRU line among
-                // lines of *other* cores; at/over quota -> among own lines.
-                let mut own = WayMask::EMPTY;
-                let mut others = WayMask::EMPTY;
-                let base = set * self.geom.assoc();
-                for w in 0..self.geom.assoc() {
-                    if !self.valid[base + w] {
-                        continue;
-                    }
-                    if usize::from(self.owner[base + w]) == core {
-                        own = own.or(WayMask::single(w));
-                    } else {
-                        others = others.or(WayMask::single(w));
-                    }
-                }
-                let under_quota = self.owned_in_set(set, core) < quotas[core];
-                if under_quota && !others.is_empty() {
-                    others
-                } else if !own.is_empty() {
-                    own
-                } else {
-                    // Degenerate: no valid line fits the rule (e.g. cold
-                    // set); any way is fair game — invalid-way fill will
-                    // normally take over before this matters.
-                    full
-                }
-            }
+        let row = &self.tags[base..base + self.geom.assoc()];
+        let mut match_bits = 0u32;
+        for (w, &t) in row.iter().enumerate() {
+            match_bits |= u32::from(t == tag) << w;
+        }
+        match_bits &= self.valid[set];
+        if match_bits != 0 {
+            Some(match_bits.trailing_zeros() as usize)
+        } else {
+            None
         }
     }
 
     /// Access `addr` from `core`. Updates replacement state, ownership and
     /// statistics; on a miss, fills the line (evicting if needed).
+    ///
+    /// This is the scalar oracle: it runs the very same kernel as
+    /// [`Cache::access_batch`], paying one policy dispatch per access.
     pub fn access(&mut self, core: usize, addr: Addr, write: bool) -> AccessOutcome {
-        let set = self.geom.set_index(addr);
-        let tag = self.geom.tag(addr);
-        let scope = self.scope_for(core);
-
-        if let Some(way) = self.find(set, tag) {
-            self.policy.on_access(set, way, scope);
-            self.stats.record(core, true, write);
-            return AccessOutcome {
-                hit: true,
-                set,
-                way,
-                evicted: None,
-            };
+        let (policy, mut planes) = self.split();
+        match policy {
+            PolicyState::Lru(p) => access_one(&mut planes, p, core, addr, write),
+            PolicyState::Nru(p) => access_one(&mut planes, p, core, addr, write),
+            PolicyState::Bt(p) => access_one(&mut planes, p, core, addr, write),
+            PolicyState::Random(p) => access_one(&mut planes, p, core, addr, write),
         }
+    }
 
-        // Miss: pick a fill way — an invalid candidate way first, then a
-        // policy victim among the candidates.
-        let candidates = self.candidate_mask(set, core);
-        let base = set * self.geom.assoc();
-        let invalid = candidates
-            .iter()
-            .find(|&w| !self.valid[base + w])
-            // In the `C` scheme the candidate mask only covers valid
-            // lines; a cold set must still fill invalid ways.
-            .or_else(|| {
-                if matches!(
-                    self.enforcement,
-                    Enforcement::OwnerCounters { .. } | Enforcement::None
-                ) {
-                    (0..self.geom.assoc()).find(|&w| !self.valid[base + w])
-                } else {
-                    None
-                }
-            });
-
-        let (way, evicted) = match invalid {
-            Some(way) => (way, None),
-            None => {
-                let way = match &self.enforcement {
-                    Enforcement::BtVectors { vectors, .. } => match &mut self.policy {
-                        PolicyState::Bt(bt) => bt.victim_vectors(set, vectors[core]),
-                        _ => self.policy.victim(set, candidates),
-                    },
-                    _ => self.policy.victim(set, candidates),
-                };
-                let old_owner = self.owner[base + way];
-                let old_line = self.geom.line_of(set, self.tags[base + way]);
-                (way, Some((old_line, old_owner)))
-            }
-        };
-
-        // Update ownership bookkeeping.
-        if let Some((_, old_owner)) = evicted {
-            let oc = usize::from(old_owner);
-            self.owner_count[set * self.num_cores + oc] -= 1;
-            if oc != core {
-                self.stats.record_cross_eviction(core);
-            }
+    /// Process a whole access slice through the monomorphized batch kernel,
+    /// folding a summary into `batch`.
+    ///
+    /// Per-core [`CacheStats`] end up bit-identical to calling
+    /// [`Cache::access`] in a loop over the same slice; the batch amortizes
+    /// the policy dispatch, bounds checks and outcome plumbing instead of
+    /// changing semantics.
+    pub fn access_batch(&mut self, accesses: &[Access], batch: &mut BatchStats) {
+        let (policy, mut planes) = self.split();
+        match policy {
+            PolicyState::Lru(p) => run_batch(&mut planes, p, accesses, batch, None),
+            PolicyState::Nru(p) => run_batch(&mut planes, p, accesses, batch, None),
+            PolicyState::Bt(p) => run_batch(&mut planes, p, accesses, batch, None),
+            PolicyState::Random(p) => run_batch(&mut planes, p, accesses, batch, None),
         }
-        self.owner_count[set * self.num_cores + core] += 1;
-        self.tags[base + way] = tag;
-        self.valid[base + way] = true;
-        self.owner[base + way] = core as u8;
-        self.policy.on_access(set, way, scope);
-        self.stats.record(core, false, write);
+    }
 
-        AccessOutcome {
-            hit: false,
-            set,
-            way,
-            evicted,
+    /// Like [`Cache::access_batch`], additionally appending every *missing*
+    /// access to `misses` in stream order — the hierarchy forwards exactly
+    /// those to the next level.
+    pub fn access_batch_collecting(
+        &mut self,
+        accesses: &[Access],
+        batch: &mut BatchStats,
+        misses: &mut Vec<Access>,
+    ) {
+        let (policy, mut planes) = self.split();
+        match policy {
+            PolicyState::Lru(p) => run_batch(&mut planes, p, accesses, batch, Some(misses)),
+            PolicyState::Nru(p) => run_batch(&mut planes, p, accesses, batch, Some(misses)),
+            PolicyState::Bt(p) => run_batch(&mut planes, p, accesses, batch, Some(misses)),
+            PolicyState::Random(p) => run_batch(&mut planes, p, accesses, batch, Some(misses)),
         }
     }
 }

@@ -5,7 +5,7 @@
 //! modelled (the paper's timing only charges miss penalties, Table II).
 
 use crate::addr::Addr;
-use crate::cache::{Cache, CacheConfig};
+use crate::cache::{Access, BatchStats, Cache, CacheConfig};
 use crate::geometry::CacheGeometry;
 use crate::policy::PolicyKind;
 
@@ -35,6 +35,49 @@ pub struct L1Pair {
     pub icache: Cache,
     /// Data cache.
     pub dcache: Cache,
+}
+
+/// Per-level access counts of one batched hierarchy call; enough to charge
+/// miss penalties without materializing per-access outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchLevels {
+    /// Accesses serviced by the private L1.
+    pub l1_hits: u64,
+    /// L1 misses that hit the shared L2.
+    pub l2_hits: u64,
+    /// Accesses that missed everywhere and went to memory.
+    pub memory: u64,
+}
+
+impl BatchLevels {
+    /// Accesses that reached the shared L2 (= L1 misses).
+    #[inline]
+    pub fn l2_accesses(&self) -> u64 {
+        self.l2_hits + self.memory
+    }
+}
+
+/// Reusable scratch buffers for [`Hierarchy::access_inst_batch`]: the
+/// caller keeps one of these alive so batching never allocates per record.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
+    l1_batch: Vec<Access>,
+    l1_misses: Vec<Access>,
+}
+
+impl BatchScratch {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The L2 accesses (= L1 misses, with the issuing core rewritten) of
+    /// the most recent batched call, in stream order. The CPA controller's
+    /// ATDs observe exactly this stream.
+    #[inline]
+    pub fn l2_accesses(&self) -> &[Access] {
+        &self.l1_misses
+    }
 }
 
 /// The full memory hierarchy of an N-core CMP.
@@ -107,6 +150,47 @@ impl Hierarchy {
             } else {
                 MemLevel::Memory
             },
+        }
+    }
+
+    /// Batched instruction fetch from `core`: all `addrs` run through the
+    /// private L1I via the batch kernel, and the L1 misses are forwarded —
+    /// still in stream order — to the shared L2 as one batch.
+    ///
+    /// Behaviour (cache contents, policy state, statistics) is identical
+    /// to calling [`Hierarchy::access_inst`] per address: within one batch
+    /// the L1I fills happen in stream order, and the L1 and L2 are
+    /// disjoint structures, so regrouping the L2 accesses after the L1
+    /// pass cannot change any outcome. After the call,
+    /// [`BatchScratch::l2_accesses`] holds the L2-visible stream.
+    pub fn access_inst_batch(
+        &mut self,
+        core: usize,
+        addrs: &[Addr],
+        scratch: &mut BatchScratch,
+    ) -> BatchLevels {
+        scratch.l1_batch.clear();
+        scratch
+            .l1_batch
+            .extend(addrs.iter().map(|&a| Access::read(0, a)));
+        scratch.l1_misses.clear();
+        let mut l1 = BatchStats::default();
+        self.l1[core].icache.access_batch_collecting(
+            &scratch.l1_batch,
+            &mut l1,
+            &mut scratch.l1_misses,
+        );
+        // Private L1s are single-core caches (core id 0); the shared L2
+        // needs the real issuing core.
+        for a in &mut scratch.l1_misses {
+            a.core = core as u8;
+        }
+        let mut l2 = BatchStats::default();
+        self.l2.access_batch(&scratch.l1_misses, &mut l2);
+        BatchLevels {
+            l1_hits: l1.hits,
+            l2_hits: l2.hits,
+            memory: l2.misses,
         }
     }
 
@@ -212,5 +296,39 @@ mod tests {
         h.access_data(0, 0x1000, false);
         h.reset();
         assert_eq!(h.access_data(0, 0x1000, false).level, MemLevel::Memory);
+    }
+
+    #[test]
+    fn batched_inst_fetch_matches_scalar() {
+        let addrs: Vec<u64> = (0..200u64)
+            .map(|i| (i * 7919) % 64 * 64) // collide heavily in the tiny L1
+            .collect();
+
+        let mut scalar = tiny();
+        let mut counts = BatchLevels::default();
+        for &a in &addrs {
+            match scalar.access_inst(0, a).level {
+                MemLevel::L1 => counts.l1_hits += 1,
+                MemLevel::L2 => counts.l2_hits += 1,
+                MemLevel::Memory => counts.memory += 1,
+            }
+        }
+
+        let mut batched = tiny();
+        let mut scratch = BatchScratch::new();
+        let levels = batched.access_inst_batch(0, &addrs, &mut scratch);
+
+        assert_eq!(levels, counts);
+        assert_eq!(
+            scratch.l2_accesses().len() as u64,
+            levels.l2_accesses(),
+            "collected miss stream covers every L2 access"
+        );
+        assert_eq!(
+            scalar.l1(0).icache.stats(),
+            batched.l1(0).icache.stats(),
+            "L1I statistics bit-identical"
+        );
+        assert_eq!(scalar.l2.stats(), batched.l2.stats());
     }
 }

@@ -54,7 +54,7 @@ pub mod policy;
 pub mod stats;
 
 pub use addr::{Addr, LineAddr};
-pub use cache::{AccessOutcome, Cache, CacheConfig};
+pub use cache::{Access, AccessOutcome, BatchStats, Cache, CacheConfig};
 pub use enforcement::Enforcement;
 pub use error::CacheError;
 pub use geometry::CacheGeometry;

@@ -81,9 +81,15 @@ impl BtVectors {
 /// Binary-tree pseudo-LRU state for a whole cache.
 #[derive(Debug, Clone)]
 pub struct Bt {
-    /// One `A-1`-bit tree per set, packed in a u32. Bit `i` is heap node
-    /// `i` (0 = root; children of `i` are `2i+1`, `2i+2`).
+    /// One `A-1`-bit tree per set, packed in a u32 — a contiguous bitplane
+    /// over all sets. Bit `i` is heap node `i` (0 = root; children of `i`
+    /// are `2i+1`, `2i+2`).
     trees: Vec<u32>,
+    /// `path_mask[way]`: the tree bits on `way`'s root-to-leaf path.
+    path_mask: Vec<u32>,
+    /// `mru_bits[way]`: path-bit values that point every node on `way`'s
+    /// path *at* the way (its MRU promotion image).
+    mru_bits: Vec<u32>,
     assoc: usize,
     levels: u32,
 }
@@ -92,10 +98,26 @@ impl Bt {
     /// Fresh state: all tree bits 0.
     pub fn new(num_sets: usize, assoc: usize) -> Self {
         assert!(assoc.is_power_of_two() && (2..=32).contains(&assoc));
+        let levels = assoc.trailing_zeros();
+        let mut path_mask = vec![0u32; assoc];
+        let mut mru_bits = vec![0u32; assoc];
+        for way in 0..assoc {
+            for l in 0..levels {
+                let node = (1usize << l) - 1 + (way >> (levels - l));
+                let dir = ((way >> (levels - 1 - l)) & 1) as u32;
+                path_mask[way] |= 1 << node;
+                // Going upper (dir 0) means MRU is upper -> bit 1.
+                if dir == 0 {
+                    mru_bits[way] |= 1 << node;
+                }
+            }
+        }
         Bt {
             trees: vec![0; num_sets],
+            path_mask,
+            mru_bits,
             assoc,
-            levels: assoc.trailing_zeros(),
+            levels,
         }
     }
 
@@ -121,21 +143,6 @@ impl Bt {
         (self.trees[set] >> node) & 1
     }
 
-    #[inline]
-    fn set_node_bit(&mut self, set: usize, node: usize, v: u32) {
-        if v == 1 {
-            self.trees[set] |= 1 << node;
-        } else {
-            self.trees[set] &= !(1u32 << node);
-        }
-    }
-
-    /// Direction of `way` at tree level `l`: 0 = upper half, 1 = lower half.
-    #[inline]
-    fn dir_of(&self, way: usize, level: u32) -> u32 {
-        ((way >> (self.levels - 1 - level)) & 1) as u32
-    }
-
     /// Heap index of the node on `way`'s path at `level`.
     #[inline]
     fn node_of(&self, way: usize, level: u32) -> usize {
@@ -144,14 +151,12 @@ impl Bt {
 
     /// Record an access (hit or fill): every bit on the way's path is set
     /// to point *at* the accessed side (1 = MRU upper), promoting the line
-    /// to the pseudo-MRU position. Exactly `log2(A)` bits change.
+    /// to the pseudo-MRU position. Exactly `log2(A)` bits change — applied
+    /// as one masked word update from the precomputed per-way tables.
+    #[inline]
     pub fn on_access(&mut self, set: usize, way: usize) {
-        for l in 0..self.levels {
-            let node = self.node_of(way, l);
-            let dir = self.dir_of(way, l);
-            // Going upper (dir 0) means MRU is upper -> bit 1.
-            self.set_node_bit(set, node, 1 - dir);
-        }
+        let tree = &mut self.trees[set];
+        *tree = (*tree & !self.path_mask[way]) | self.mru_bits[way];
     }
 
     /// Unconstrained victim walk: upper on bit 0, lower on bit 1.

@@ -1,21 +1,54 @@
 //! True Least-Recently-Used replacement.
 //!
-//! Each line carries a `log2(A)`-bit rank; rank 0 is the MRU line and rank
-//! `A-1` the LRU line (Section II-B: "in a 4-way associativity L2 cache the
-//! MRU position may be represented with bits 00, and the LRU position with
-//! 11"). On an access, every line between the MRU position and the accessed
-//! line's old position increments its rank and the accessed line moves to
-//! rank 0 — exactly the worst-case `A*log2(A)` bit update the paper charges
-//! LRU with in Table I(b).
+//! Each line logically carries a `log2(A)`-bit rank; rank 0 is the MRU line
+//! and rank `A-1` the LRU line (Section II-B: "in a 4-way associativity L2
+//! cache the MRU position may be represented with bits 00, and the LRU
+//! position with 11"). On an access, every line between the MRU position and
+//! the accessed line's old position increments its rank and the accessed
+//! line moves to rank 0 — exactly the worst-case `A*log2(A)` bit update the
+//! paper charges LRU with in Table I(b).
+//!
+//! The in-memory layout is the *inverse* mapping: a compact per-set order
+//! array holding the way id at each rank, MRU first. For the common
+//! `A <= 16` shapes (the paper's L2 is 16-way) the whole order row packs
+//! into one u64 word of 4-bit way ids, so a promotion is a nibble insert
+//! (find + shift + or) and the full-mask victim — the hot-path case — is a
+//! single shift off the LRU end of the word. Wider caches (17–32 ways) fall
+//! back to one byte per way, where a promotion is a short `memmove`.
 
 use crate::mask::WayMask;
 
-/// True-LRU state for a whole cache: one rank per (set, way).
+/// Nibble-packed order words hold way ids 0..16, so they cover exactly
+/// this associativity.
+const PACKED_MAX_ASSOC: usize = 16;
+
+/// Per-set recency order storage: one packed u64 per set when way ids fit
+/// a nibble, byte rows otherwise.
+#[derive(Debug, Clone)]
+enum OrderRepr {
+    /// `words[set]`: nibble `r` holds the way at rank `r` (0 = MRU). For
+    /// `assoc < 16` the unused high nibbles are parked at `0xF`, a value
+    /// no way id of such a cache can take.
+    Packed(Vec<u64>),
+    /// `rows[set*assoc + r]`: the way at rank `r`.
+    Wide(Vec<u8>),
+}
+
+/// True-LRU state for a whole cache: per-set recency order arrays.
 #[derive(Debug, Clone)]
 pub struct Lru {
-    /// Flattened `num_sets x assoc` rank array; `ranks[set*assoc + way]`.
-    ranks: Vec<u8>,
+    order: OrderRepr,
     assoc: usize,
+}
+
+/// The cold order word for one set: nibble `r` = `r`, unused nibbles `0xF`.
+fn cold_word(assoc: usize) -> u64 {
+    let mut word = 0u64;
+    for rank in 0..PACKED_MAX_ASSOC {
+        let id = if rank < assoc { rank as u64 } else { 0xF };
+        word |= id << (4 * rank);
+    }
+    word
 }
 
 impl Lru {
@@ -23,24 +56,30 @@ impl Lru {
     /// a fully-specified cold ordering.
     pub fn new(num_sets: usize, assoc: usize) -> Self {
         assert!((1..=32).contains(&assoc));
-        let mut ranks = vec![0u8; num_sets * assoc];
-        for set in 0..num_sets {
-            for way in 0..assoc {
-                ranks[set * assoc + way] = way as u8;
+        let order = if assoc <= PACKED_MAX_ASSOC {
+            OrderRepr::Packed(vec![cold_word(assoc); num_sets])
+        } else {
+            let mut rows = vec![0u8; num_sets * assoc];
+            for set in 0..num_sets {
+                for rank in 0..assoc {
+                    rows[set * assoc + rank] = rank as u8;
+                }
             }
-        }
-        Lru { ranks, assoc }
-    }
-
-    #[inline]
-    fn base(&self, set: usize) -> usize {
-        set * self.assoc
+            OrderRepr::Wide(rows)
+        };
+        Lru { order, assoc }
     }
 
     /// 0-based rank of a way (0 = MRU, A-1 = LRU).
     #[inline]
     pub fn rank(&self, set: usize, way: usize) -> usize {
-        self.ranks[self.base(set) + way] as usize
+        match &self.order {
+            OrderRepr::Packed(words) => nibble_position(words[set], way),
+            OrderRepr::Wide(rows) => rows[set * self.assoc..(set + 1) * self.assoc]
+                .iter()
+                .position(|&w| usize::from(w) == way)
+                .expect("order rows hold every way"),
+        }
     }
 
     /// 1-based LRU *stack position* of a way, as reported to the SDH
@@ -52,49 +91,84 @@ impl Lru {
     }
 
     /// Promote `way` to MRU; lines between the old position and MRU age by
-    /// one.
+    /// one (the order row shifts down by one slot).
+    #[inline]
     pub fn on_access(&mut self, set: usize, way: usize) {
-        let base = self.base(set);
-        let old = self.ranks[base + way];
-        for w in 0..self.assoc {
-            let r = &mut self.ranks[base + w];
-            if *r < old {
-                *r += 1;
+        match &mut self.order {
+            OrderRepr::Packed(words) => {
+                let word = &mut words[set];
+                let shift = 4 * nibble_position(*word, way) as u32;
+                // Keep the nibbles above the old position, move the ones
+                // below it up one rank, insert the way at rank 0.
+                let below = (1u64 << shift) - 1;
+                *word = (*word & !(below | (0xF << shift))) | ((*word & below) << 4) | way as u64;
+            }
+            OrderRepr::Wide(rows) => {
+                let base = set * self.assoc;
+                let row = &mut rows[base..base + self.assoc];
+                let pos = row
+                    .iter()
+                    .position(|&w| usize::from(w) == way)
+                    .expect("order rows hold every way");
+                row.copy_within(..pos, 1);
+                row[0] = way as u8;
             }
         }
-        self.ranks[base + way] = 0;
     }
 
-    /// The LRU way among `allowed`: the allowed way with the highest rank.
+    /// The LRU way among `allowed`: the allowed way deepest in the order
+    /// row. Under the full mask this is one load from the row's LRU end.
+    #[inline]
     pub fn victim(&self, set: usize, allowed: WayMask) -> usize {
-        let base = self.base(set);
-        let mut best_way = usize::MAX;
-        let mut best_rank = -1i32;
-        for way in allowed.iter() {
-            let r = i32::from(self.ranks[base + way]);
-            if r > best_rank {
-                best_rank = r;
-                best_way = way;
+        let full = allowed == WayMask::full(self.assoc);
+        match &self.order {
+            OrderRepr::Packed(words) => {
+                let word = words[set];
+                if full {
+                    return ((word >> (4 * (self.assoc - 1))) & 0xF) as usize;
+                }
+                (0..self.assoc)
+                    .rev()
+                    .map(|r| ((word >> (4 * r)) & 0xF) as usize)
+                    .find(|&w| allowed.contains(w))
+                    .expect("mask holds at least one way")
+            }
+            OrderRepr::Wide(rows) => {
+                let row = &rows[set * self.assoc..(set + 1) * self.assoc];
+                if full {
+                    return usize::from(row[self.assoc - 1]);
+                }
+                row.iter()
+                    .rev()
+                    .map(|&w| usize::from(w))
+                    .find(|&w| allowed.contains(w))
+                    .expect("mask holds at least one way")
             }
         }
-        debug_assert!(best_way != usize::MAX);
-        best_way
     }
 
     /// Way currently at a given rank (inverse of [`Self::rank`]).
+    #[inline]
     pub fn way_at_rank(&self, set: usize, rank: usize) -> usize {
-        let base = self.base(set);
-        (0..self.assoc)
-            .find(|&w| self.ranks[base + w] as usize == rank)
-            .expect("ranks form a permutation")
+        debug_assert!(rank < self.assoc);
+        match &self.order {
+            OrderRepr::Packed(words) => ((words[set] >> (4 * rank)) & 0xF) as usize,
+            OrderRepr::Wide(rows) => usize::from(rows[set * self.assoc + rank]),
+        }
     }
 
     /// Reset to the cold ordering.
     pub fn reset(&mut self) {
-        let num_sets = self.ranks.len() / self.assoc;
-        for set in 0..num_sets {
-            for way in 0..self.assoc {
-                self.ranks[set * self.assoc + way] = way as u8;
+        match &mut self.order {
+            OrderRepr::Packed(words) => {
+                let cold = cold_word(self.assoc);
+                words.iter_mut().for_each(|w| *w = cold);
+            }
+            OrderRepr::Wide(rows) => {
+                let assoc = self.assoc;
+                for (i, slot) in rows.iter_mut().enumerate() {
+                    *slot = (i % assoc) as u8;
+                }
             }
         }
     }
@@ -103,6 +177,21 @@ impl Lru {
     pub fn assoc(&self) -> usize {
         self.assoc
     }
+}
+
+/// Index of the nibble holding `way` in an order word.
+///
+/// Classic zero-nibble finder: XOR against a broadcast of the way id turns
+/// the (unique) matching nibble into zero, and the borrow trick raises that
+/// nibble's top marker bit. Borrows can corrupt markers only *above* the
+/// lowest zero nibble, and the match is unique, so `trailing_zeros` of the
+/// marker plane lands exactly on it.
+#[inline(always)]
+fn nibble_position(word: u64, way: usize) -> usize {
+    let x = word ^ (way as u64 * 0x1111_1111_1111_1111);
+    let markers = x.wrapping_sub(0x1111_1111_1111_1111) & !x & 0x8888_8888_8888_8888;
+    debug_assert!(markers != 0, "order words hold every way");
+    (markers.trailing_zeros() >> 2) as usize
 }
 
 #[cfg(test)]
@@ -204,5 +293,51 @@ mod tests {
         for w in 0..4 {
             assert_eq!(l.rank(1, w), w);
         }
+    }
+
+    #[test]
+    fn full_16_way_word_has_no_parked_nibbles() {
+        let mut l = Lru::new(1, 16);
+        for w in (0..16).rev() {
+            l.on_access(0, w);
+        }
+        assert!(ranks_are_permutation(&l, 0));
+        assert_eq!(l.victim(0, WayMask::full(16)), 15, "last promoted first");
+        assert_eq!(l.rank(0, 0), 0);
+        assert_eq!(l.rank(0, 15), 15);
+    }
+
+    /// The wide (byte-row) fallback must behave exactly like the packed
+    /// words; exercise it with a 32-way cache against a mirrored 16-way
+    /// packed one restricted to the same ways.
+    #[test]
+    fn wide_repr_matches_packed_semantics() {
+        let mut wide = Lru::new(2, 32);
+        let mut packed = Lru::new(2, 16);
+        let pattern = [3usize, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3, 2, 0];
+        for (i, &w) in pattern.iter().enumerate() {
+            let set = i % 2;
+            wide.on_access(set, w);
+            packed.on_access(set, w);
+            assert_eq!(wide.rank(set, w), 0);
+            assert!(ranks_are_permutation(&wide, set));
+        }
+        // Relative order of the touched ways is representation-independent.
+        let touched = WayMask(0b11_1111_1111);
+        for set in 0..2 {
+            assert_eq!(wide.victim(set, touched), packed.victim(set, touched));
+            for w in 0..10 {
+                assert_eq!(
+                    wide.rank(set, w) < wide.rank(set, (w + 1) % 10),
+                    packed.rank(set, w) < packed.rank(set, (w + 1) % 10),
+                    "set {set} way {w}"
+                );
+            }
+        }
+        // Untouched high ways age to the LRU end of the wide row.
+        assert_eq!(wide.victim(0, WayMask::full(32)), 31);
+        wide.reset();
+        assert_eq!(wide.rank(0, 31), 31);
+        assert_eq!(wide.way_at_rank(0, 13), 13);
     }
 }

@@ -152,6 +152,75 @@ impl PolicyState {
     }
 }
 
+/// The monomorphic face of a replacement policy, as seen by the cache's
+/// access kernel.
+///
+/// [`Cache::access_batch`](crate::Cache::access_batch) dispatches on
+/// [`PolicyState`] **once per batch** and then runs a fully monomorphized
+/// per-access loop against one of these implementations, so the per-access
+/// cost is a direct inlined call instead of an enum match. The scalar
+/// [`Cache::access`](crate::Cache::access) goes through the same kernel,
+/// which is what makes the batched path bit-identical by construction.
+pub(crate) trait ReplKernel {
+    /// Record an access (hit or fill) to `way` of `set` under `scope`
+    /// (only NRU's saturation rule consults the scope).
+    fn touch(&mut self, set: usize, way: usize, scope: WayMask);
+
+    /// Choose a victim among `allowed` valid ways of `set`. `vectors` is
+    /// `Some` only under BT up/down vector enforcement; every policy but
+    /// BT ignores it and obeys the mask.
+    fn pick(&mut self, set: usize, allowed: WayMask, vectors: Option<BtVectors>) -> usize;
+}
+
+impl ReplKernel for Lru {
+    #[inline(always)]
+    fn touch(&mut self, set: usize, way: usize, _scope: WayMask) {
+        self.on_access(set, way);
+    }
+
+    #[inline(always)]
+    fn pick(&mut self, set: usize, allowed: WayMask, _vectors: Option<BtVectors>) -> usize {
+        self.victim(set, allowed)
+    }
+}
+
+impl ReplKernel for Nru {
+    #[inline(always)]
+    fn touch(&mut self, set: usize, way: usize, scope: WayMask) {
+        self.on_access(set, way, scope);
+    }
+
+    #[inline(always)]
+    fn pick(&mut self, set: usize, allowed: WayMask, _vectors: Option<BtVectors>) -> usize {
+        self.victim(set, allowed)
+    }
+}
+
+impl ReplKernel for Bt {
+    #[inline(always)]
+    fn touch(&mut self, set: usize, way: usize, _scope: WayMask) {
+        self.on_access(set, way);
+    }
+
+    #[inline(always)]
+    fn pick(&mut self, set: usize, allowed: WayMask, vectors: Option<BtVectors>) -> usize {
+        match vectors {
+            Some(v) => self.victim_vectors(set, v),
+            None => self.victim_masked(set, allowed),
+        }
+    }
+}
+
+impl ReplKernel for RandomRepl {
+    #[inline(always)]
+    fn touch(&mut self, _set: usize, _way: usize, _scope: WayMask) {}
+
+    #[inline(always)]
+    fn pick(&mut self, set: usize, allowed: WayMask, _vectors: Option<BtVectors>) -> usize {
+        self.victim(set, allowed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -101,14 +101,16 @@ impl Nru {
             self.used[set] &= !allowed_bits;
             self.forced_clears += 1;
         }
-        let mut way = self.pointer % self.assoc;
-        loop {
-            if (allowed_bits >> way) & 1 == 1 && (self.used[set] >> way) & 1 == 0 {
-                self.pointer = (way + 1) % self.assoc;
-                return way;
-            }
-            way = (way + 1) % self.assoc;
-        }
+        // Branchless wrapped scan: rotate the candidate bitplane so the
+        // pointer sits at bit 0, then take the first set bit. Candidate
+        // bits only exist below `assoc`, so bits that wrap past position 31
+        // land back on their own way index mod 32.
+        let cand = allowed_bits & !self.used[set];
+        debug_assert!(cand != 0, "forced clear guarantees a candidate");
+        let ptr = (self.pointer % self.assoc) as u32;
+        let way = ((ptr + cand.rotate_right(ptr).trailing_zeros()) & 31) as usize;
+        self.pointer = (way + 1) % self.assoc;
+        way
     }
 
     /// Reset all used bits and the pointer.

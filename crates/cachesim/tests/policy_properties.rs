@@ -1,7 +1,10 @@
-//! Property-based tests of the replacement-policy state machines.
+//! Property-based tests of the replacement-policy state machines, and of
+//! the batched access kernel against the scalar oracle.
 
 use cachesim::policy::{Bt, BtVectors, Lru, Nru};
-use cachesim::WayMask;
+use cachesim::{
+    Access, BatchStats, Cache, CacheConfig, CacheGeometry, Enforcement, PolicyKind, WayMask,
+};
 use proptest::prelude::*;
 
 const ASSOC: usize = 16;
@@ -186,5 +189,130 @@ proptest! {
         let last = *accesses.last().unwrap();
         let x_last = bt.path_bits(0, last) ^ (last as u32);
         prop_assert_eq!(ASSOC as u32 - x_last, 1, "MRU estimates to position 1");
+    }
+}
+
+/// All four policies, indexed so the stub's range strategies can pick one.
+const POLICIES: [PolicyKind; 4] = [
+    PolicyKind::Lru,
+    PolicyKind::Nru,
+    PolicyKind::Bt,
+    PolicyKind::Random,
+];
+
+/// A small 4-set x 16-way cache shared by the equivalence properties.
+fn small_cache(policy: PolicyKind, num_cores: usize) -> Cache {
+    Cache::new(CacheConfig {
+        geometry: CacheGeometry::new(4096, ASSOC, 64).unwrap(),
+        policy,
+        num_cores,
+        seed: 7,
+    })
+}
+
+/// The partition enforcements the equivalence property cycles through:
+/// unpartitioned, replacement masks, per-set owner counters, and (for BT)
+/// the paper's up/down vectors on aligned subtrees.
+fn enforcement_for(choice: usize, policy: PolicyKind) -> Enforcement {
+    match choice {
+        0 => Enforcement::None,
+        1 if policy == PolicyKind::Bt => Enforcement::bt_vectors(
+            vec![WayMask::contiguous(0, 8), WayMask::contiguous(8, 8)],
+            ASSOC,
+        )
+        .unwrap(),
+        1 => Enforcement::masks(vec![WayMask::contiguous(0, 10), WayMask::contiguous(10, 6)]),
+        _ => Enforcement::owner_counters(vec![10, 6]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Cache::access_batch` is bit-identical to the scalar `Cache::access`
+    /// loop — per-core hit/miss/write/cross-eviction statistics, the batch
+    /// summary, and the resulting cache contents all match — for every
+    /// policy, with and without partition masks, at any batch boundary.
+    #[test]
+    fn batched_kernel_equals_scalar_oracle(
+        policy_idx in 0usize..4,
+        enf_choice in 0usize..3,
+        ops in proptest::collection::vec(
+            (0usize..2, 0u64..512, 0usize..8),
+            1..400,
+        ),
+        chunk in 1usize..64,
+    ) {
+        let policy = POLICIES[policy_idx];
+        let stream: Vec<Access> = ops
+            .iter()
+            .map(|&(core, line, w)| Access::new(core, line << 6, w == 0))
+            .collect();
+        let enforcement = enforcement_for(enf_choice, policy);
+
+        let mut scalar = small_cache(policy, 2);
+        scalar.set_enforcement(enforcement.clone());
+        let mut scalar_evictions = 0u64;
+        let mut scalar_hits = 0u64;
+        for a in &stream {
+            let out = scalar.access(usize::from(a.core), a.addr, a.write);
+            scalar_hits += u64::from(out.hit);
+            scalar_evictions += u64::from(out.evicted.is_some());
+        }
+
+        let mut batched = small_cache(policy, 2);
+        batched.set_enforcement(enforcement);
+        let mut batch = BatchStats::default();
+        for piece in stream.chunks(chunk) {
+            batched.access_batch(piece, &mut batch);
+        }
+
+        // Statistics are bit-identical.
+        prop_assert_eq!(scalar.stats(), batched.stats());
+        // The batch summary agrees with the oracle's event counts.
+        prop_assert_eq!(batch.accesses, stream.len() as u64);
+        prop_assert_eq!(batch.hits, scalar_hits);
+        prop_assert_eq!(batch.misses, stream.len() as u64 - scalar_hits);
+        prop_assert_eq!(batch.evictions, scalar_evictions);
+        let total = scalar.stats().total();
+        prop_assert_eq!(batch.cross_evictions, total.cross_evictions);
+        prop_assert_eq!(batch.hits, total.hits);
+        // And the cache contents converged to the same lines.
+        for line in 0u64..512 {
+            prop_assert_eq!(
+                scalar.probe(line << 6),
+                batched.probe(line << 6),
+                "line {} diverged", line
+            );
+        }
+    }
+
+    /// Splitting one stream at any boundary and batching the halves leaves
+    /// the cache in the same state as one whole-stream batch (the kernel
+    /// carries no per-batch state).
+    #[test]
+    fn batch_boundaries_are_invisible(
+        policy_idx in 0usize..4,
+        ops in proptest::collection::vec((0u64..256, 0usize..8), 1..200),
+        split in 0usize..200,
+    ) {
+        let policy = POLICIES[policy_idx];
+        let stream: Vec<Access> = ops
+            .iter()
+            .map(|&(line, w)| Access::new(0, line << 6, w == 0))
+            .collect();
+        let split = split.min(stream.len());
+
+        let mut whole = small_cache(policy, 1);
+        let mut whole_stats = BatchStats::default();
+        whole.access_batch(&stream, &mut whole_stats);
+
+        let mut halves = small_cache(policy, 1);
+        let mut halves_stats = BatchStats::default();
+        halves.access_batch(&stream[..split], &mut halves_stats);
+        halves.access_batch(&stream[split..], &mut halves_stats);
+
+        prop_assert_eq!(whole.stats(), halves.stats());
+        prop_assert_eq!(whole_stats, halves_stats);
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::config::MachineConfig;
 use crate::core_model::CoreModel;
-use cachesim::hierarchy::{Hierarchy, MemLevel};
+use cachesim::hierarchy::{BatchScratch, Hierarchy, MemLevel};
 use cachesim::{CacheStats, PolicyKind};
 use plru_core::{CpaConfig, CpaController};
 use serde::{Deserialize, Serialize};
@@ -68,6 +68,10 @@ pub struct System {
     /// Per-core L2 miss counts at the previous interval boundary (the
     /// controller's adaptive-scale feedback).
     last_misses: Vec<u64>,
+    /// Reusable instruction-fetch address buffer (one record's fetch group).
+    fetch_buf: Vec<u64>,
+    /// Reusable buffers for the batched L1I → L2 fetch path.
+    scratch: BatchScratch,
 }
 
 impl System {
@@ -124,6 +128,8 @@ impl System {
             controller,
             next_interval,
             intervals: 0,
+            fetch_buf: Vec::new(),
+            scratch: BatchScratch::new(),
         }
     }
 
@@ -185,13 +191,21 @@ impl System {
             let insts = rec.instructions();
             let mut latency = self.cores[c].charge_base(insts);
 
-            // Instruction fetches.
-            for addr in self.cores[c].fetch_addrs(insts) {
-                let out = self.hierarchy.access_inst(c, addr);
-                latency += self.penalty(out.level);
-                if out.level != MemLevel::L1 {
-                    if let Some(ctl) = &mut self.controller {
-                        ctl.observe(c, addr);
+            // Instruction fetches: the record's whole fetch group runs
+            // through the batched L1I → L2 kernel; per-level counts charge
+            // the same summed penalties as the scalar per-access walk.
+            self.cores[c].fetch_addrs_into(insts, &mut self.fetch_buf);
+            if !self.fetch_buf.is_empty() {
+                let levels =
+                    self.hierarchy
+                        .access_inst_batch(c, &self.fetch_buf, &mut self.scratch);
+                latency += levels.l2_accesses() * self.cfg.latencies.l1_miss
+                    + levels.memory * self.cfg.latencies.l2_miss;
+                if let Some(ctl) = &mut self.controller {
+                    // The ATDs observe every fetch that left the L1, in
+                    // stream order — exactly as the scalar path did.
+                    for a in self.scratch.l2_accesses() {
+                        ctl.observe(c, a.addr);
                     }
                 }
             }

@@ -10,8 +10,12 @@
 //! they simulate and nothing else.
 //!
 //! Dispatch stays enum-based end to end ([`PolicyKind`] / [`CpaConfig`]):
-//! there are no trait objects anywhere on the per-access hot path, which
-//! keeps the door open for the planned sharding/batching work.
+//! there are no trait objects anywhere on the per-access hot path. Every
+//! simulation the engine builds runs on the cache's *batched* access
+//! kernel (`cachesim::Cache::access_batch` under
+//! `cmpsim::System::run`'s fetch path), which dispatches on the policy
+//! once per trace chunk instead of once per access; the scalar
+//! `Cache::access` survives as the property-tested oracle.
 //!
 //! The experiment-fleet helpers live here too: [`parallel_map`] fans
 //! independent simulations out over hardware threads, and the engine

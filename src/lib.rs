@@ -47,7 +47,9 @@ pub use engine::{SimEngine, SimEngineBuilder};
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use crate::engine::{parallel_map, IsolationCache, SimEngine, SimEngineBuilder};
-    pub use cachesim::{Cache, CacheConfig, CacheGeometry, Enforcement, PolicyKind, WayMask};
+    pub use cachesim::{
+        Access, BatchStats, Cache, CacheConfig, CacheGeometry, Enforcement, PolicyKind, WayMask,
+    };
     pub use cmpsim::{
         harmonic_mean_of_relative_ipc, throughput, weighted_speedup, MachineConfig, SimResult,
         System, WorkloadMetrics,

@@ -205,7 +205,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Acceptable size arguments for [`vec`].
+    /// Acceptable size arguments for [`vec()`].
     pub trait IntoSizeBounds {
         /// (min, max) inclusive.
         fn bounds(self) -> (usize, usize);
