@@ -1,19 +1,23 @@
 //! Experiment drivers shared by the per-figure binaries.
 //!
-//! Every simulation here is constructed through the root crate's
-//! [`SimEngine`]: one engine per (machine, policy/CPA) point, all sharing
-//! one [`IsolationCache`] so the relative metrics never recompute an
-//! isolation run, and [`parallel_map`] fanning the independent runs out
-//! over hardware threads.
+//! Every figure is a cartesian sweep, so every driver here is now a
+//! declarative [`ScenarioSpec`] — `fig6_spec` / `fig7_spec` / `fig8_spec`
+//! build the spec, the root crate's work-stealing [`SweepRunner`]
+//! executes it, and the driver only aggregates the [`SweepReport`] into
+//! the figure's rows. The quick variants of the fig6/fig8 specs ship as
+//! `scenarios/fig6_quick.json` / `scenarios/fig8_quick.json`, pinned to
+//! these builders by `tests/spec_pins.rs`, so
+//! `cargo run --bin sweep -- scenarios/fig8_quick.json` reproduces the
+//! figure binary's underlying numbers.
 
 use crate::options::Options;
 use cachesim::PolicyKind;
 use cmpsim::metrics::mean;
 use cmpsim::{MachineConfig, SimResult, WorkloadMetrics};
 use plru_core::CpaConfig;
-use plru_repro::engine::{parallel_map, IsolationCache, SimEngine, SimEngineBuilder};
+use plru_repro::engine::{SimEngine, SimEngineBuilder};
+use plru_repro::scenario::{ScenarioSpec, SweepReport, SweepRunner, WorkloadSel};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 use tracegen::{workloads_with_threads, Workload};
 
 /// The machine for an experiment: the paper baseline with the option's
@@ -39,6 +43,15 @@ fn select_workloads(threads: usize, quick: bool) -> Vec<Workload> {
     w
 }
 
+/// Spec name with the `--quick` variant marked.
+fn spec_name(base: &str, quick: bool) -> String {
+    if quick {
+        format!("{base}-quick")
+    } else {
+        base.to_string()
+    }
+}
+
 /// Activity counters of a run, for the power model.
 pub fn activity_of(r: &SimResult, num_cores: usize, insts_per_core: u64) -> hwmodel::RunActivity {
     hwmodel::RunActivity {
@@ -49,6 +62,31 @@ pub fn activity_of(r: &SimResult, num_cores: usize, insts_per_core: u64) -> hwmo
         l2_misses: r.cores.iter().map(|c| c.l2_misses).sum(),
         atd_accesses: r.atd_observed,
     }
+}
+
+/// Relative metric of `scheme` vs `base` for one workload of a report.
+/// Panics if the report does not contain the pair — the specs built here
+/// always do.
+fn rel(report: &SweepReport, workload: &str, scheme: &str, base: &str) -> WorkloadMetrics {
+    let m = &lookup(report, workload, scheme).metrics;
+    let b = &lookup(report, workload, base).metrics;
+    m.relative_to(b)
+}
+
+fn lookup<'r>(
+    report: &'r SweepReport,
+    workload: &str,
+    scheme: &str,
+) -> &'r plru_repro::scenario::CaseReport {
+    report
+        .find(workload, scheme)
+        .unwrap_or_else(|| panic!("case ({workload}, {scheme}) missing from sweep report"))
+}
+
+/// Arithmetic mean of one metric over a slice of relative metrics — the
+/// figures' per-bar aggregation rule, in one place.
+fn mean_of(rels: &[WorkloadMetrics], f: impl Fn(&WorkloadMetrics) -> f64) -> f64 {
+    mean(&rels.iter().map(f).collect::<Vec<_>>())
 }
 
 // ---------------------------------------------------------------------
@@ -72,81 +110,69 @@ pub struct Fig6Row {
 
 const FIG6_POLICIES: [PolicyKind; 3] = [PolicyKind::Lru, PolicyKind::Nru, PolicyKind::Bt];
 
-/// Run the Figure 6 experiment: all 49 workloads plus the 25 single-thread
-/// runs, three replacement policies, non-partitioned L2.
-pub fn fig6_experiment(opts: &Options) -> Vec<Fig6Row> {
-    let iso = Arc::new(IsolationCache::new());
-    let mut rows = Vec::new();
+/// Per-core-count workload display names of the Figure 6 sweep: the 25
+/// single benchmarks at 1 core, the Table II sets above.
+fn fig6_groups(quick: bool) -> Vec<(usize, Vec<String>)> {
+    let mut singles: Vec<&str> = tracegen::benchmark_names();
+    if quick {
+        singles.truncate(4);
+    }
+    let mut groups = vec![(1usize, singles.iter().map(|s| s.to_string()).collect())];
+    for threads in [2usize, 4, 8] {
+        groups.push((
+            threads,
+            select_workloads(threads, quick)
+                .into_iter()
+                .map(|w| w.name)
+                .collect(),
+        ));
+    }
+    groups
+}
 
-    // 1 core: throughput is just IPC; metrics vs isolation are trivial.
-    {
-        let engines: Vec<SimEngine> = FIG6_POLICIES
-            .iter()
-            .map(|&p| engine(1, opts).policy(p).isolation(iso.clone()).build())
-            .collect();
-        let mut names = tracegen::benchmark_names();
-        if opts.quick {
-            names.truncate(4);
-        }
-        // policy -> isolation IPC per benchmark.
-        let per_policy: Vec<Vec<f64>> = engines
-            .iter()
-            .map(|e| parallel_map(&names, |name| e.isolation_ipc(name)))
-            .collect();
-        for (pi, &policy) in FIG6_POLICIES.iter().enumerate() {
-            let rel: Vec<f64> = per_policy[pi]
-                .iter()
-                .zip(&per_policy[0])
-                .map(|(&x, &l)| x / l)
-                .collect();
-            rows.push(Fig6Row {
-                cores: 1,
-                policy: policy.acronym().to_string(),
-                rel_throughput: mean(&rel),
-                rel_harmonic_mean: None,
-                rel_weighted_speedup: None,
+/// The Figure 6 sweep as a spec: every workload of every core count under
+/// the three replacement policies, unpartitioned.
+pub fn fig6_spec(opts: &Options) -> ScenarioSpec {
+    let mut workloads: Vec<WorkloadSel> = Vec::new();
+    for (threads, names) in fig6_groups(opts.quick) {
+        for name in names {
+            workloads.push(if threads == 1 {
+                WorkloadSel::Profiles(vec![name])
+            } else {
+                WorkloadSel::Named(name)
             });
         }
     }
+    ScenarioSpec {
+        name: spec_name("fig6", opts.quick),
+        description: Some("Figure 6: non-partitioned LRU vs NRU vs BT at 1/2/4/8 cores".into()),
+        insts: Some(opts.insts),
+        seed: Some(opts.seed),
+        workloads,
+        schemes: FIG6_POLICIES.iter().map(|p| p.acronym().into()).collect(),
+        ..Default::default()
+    }
+}
 
-    for threads in [2usize, 4, 8] {
-        let engines: Vec<SimEngine> = FIG6_POLICIES
-            .iter()
-            .map(|&p| {
-                engine(threads, opts)
-                    .policy(p)
-                    .isolation(iso.clone())
-                    .build()
-            })
-            .collect();
-        let wls = select_workloads(threads, opts.quick);
-        // metrics[policy][workload]
-        let metrics: Vec<Vec<WorkloadMetrics>> = engines
-            .iter()
-            .map(|e| parallel_map(&wls, |wl| e.run_with_metrics(wl).1))
-            .collect();
-        for (pi, &policy) in FIG6_POLICIES.iter().enumerate() {
-            let rel_thr: Vec<f64> = metrics[pi]
+/// Run the Figure 6 experiment: all 49 workloads plus the 25 single-thread
+/// runs, three replacement policies, non-partitioned L2.
+pub fn fig6_experiment(opts: &Options) -> Vec<Fig6Row> {
+    let report = SweepRunner::new()
+        .run(&fig6_spec(opts))
+        .expect("fig6 spec is valid");
+    let mut rows = Vec::new();
+    for (cores, names) in fig6_groups(opts.quick) {
+        for &policy in &FIG6_POLICIES {
+            let rels: Vec<WorkloadMetrics> = names
                 .iter()
-                .zip(&metrics[0])
-                .map(|(m, l)| m.throughput / l.throughput)
-                .collect();
-            let rel_hm: Vec<f64> = metrics[pi]
-                .iter()
-                .zip(&metrics[0])
-                .map(|(m, l)| m.harmonic_mean / l.harmonic_mean)
-                .collect();
-            let rel_ws: Vec<f64> = metrics[pi]
-                .iter()
-                .zip(&metrics[0])
-                .map(|(m, l)| m.weighted_speedup / l.weighted_speedup)
+                .map(|wl| rel(&report, wl, policy.acronym(), PolicyKind::Lru.acronym()))
                 .collect();
             rows.push(Fig6Row {
-                cores: threads,
+                cores,
                 policy: policy.acronym().to_string(),
-                rel_throughput: mean(&rel_thr),
-                rel_harmonic_mean: Some(mean(&rel_hm)),
-                rel_weighted_speedup: Some(mean(&rel_ws)),
+                rel_throughput: mean_of(&rels, |m| m.throughput),
+                rel_harmonic_mean: (cores > 1).then(|| mean_of(&rels, |m| m.harmonic_mean)),
+                rel_weighted_speedup: (cores > 1).then(|| mean_of(&rels, |m| m.weighted_speedup)),
             });
         }
     }
@@ -188,61 +214,70 @@ pub struct Fig7Row {
     pub rel_weighted_speedup: f64,
 }
 
+/// The Figure 7 sweep as a spec: every multiprogrammed workload under the
+/// six CPA configurations.
+pub fn fig7_spec(opts: &Options) -> ScenarioSpec {
+    let workloads: Vec<WorkloadSel> = [2usize, 4, 8]
+        .iter()
+        .flat_map(|&t| select_workloads(t, opts.quick))
+        .map(|w| WorkloadSel::Named(w.name))
+        .collect();
+    ScenarioSpec {
+        name: spec_name("fig7", opts.quick),
+        description: Some(
+            "Figure 7: the six dynamic CPA configurations at 2/4/8 cores, vs C-L".into(),
+        ),
+        insts: Some(opts.insts),
+        seed: Some(opts.seed),
+        workloads,
+        schemes: CpaConfig::figure7_set()
+            .iter()
+            .map(|c| c.acronym())
+            .collect(),
+        ..Default::default()
+    }
+}
+
 /// Run the Figure 7 experiment. Returns the averaged rows plus every raw
 /// run (Figure 9 reuses the raw runs for its power model).
 pub fn fig7_experiment(opts: &Options) -> (Vec<Fig7Row>, Vec<ConfigRun>) {
-    let iso = Arc::new(IsolationCache::new());
+    let report = SweepRunner::new()
+        .run(&fig7_spec(opts))
+        .expect("fig7 spec is valid");
     let configs = CpaConfig::figure7_set();
+    let baseline = configs[0].acronym(); // C-L
+
+    let raw: Vec<ConfigRun> = report
+        .cases
+        .iter()
+        .map(|c| ConfigRun {
+            acronym: c.scheme.clone(),
+            workload: c.case.workload.clone(),
+            cores: c.case.threads(),
+            metrics: c.metrics,
+            result: c.result.clone(),
+        })
+        .collect();
+
     let mut rows = Vec::new();
-    let mut raw = Vec::new();
-
     for threads in [2usize, 4, 8] {
-        let engines: Vec<SimEngine> = configs
-            .iter()
-            .map(|c| {
-                engine(threads, opts)
-                    .cpa(c.clone())
-                    .isolation(iso.clone())
-                    .build()
-            })
+        let names: Vec<String> = select_workloads(threads, opts.quick)
+            .into_iter()
+            .map(|w| w.name)
             .collect();
-        let wls = select_workloads(threads, opts.quick);
-        // jobs = (workload, config) cross product.
-        let jobs: Vec<(usize, usize)> = (0..wls.len())
-            .flat_map(|w| (0..configs.len()).map(move |c| (w, c)))
-            .collect();
-        let results: Vec<ConfigRun> = parallel_map(&jobs, |&(w, c)| {
-            let wl = &wls[w];
-            let (r, m) = engines[c].run_with_metrics(wl);
-            ConfigRun {
-                acronym: configs[c].acronym(),
-                workload: wl.name.clone(),
-                cores: threads,
-                metrics: m,
-                result: r,
-            }
-        });
-
-        for (ci, cpa) in configs.iter().enumerate() {
-            let mut rel_thr = Vec::new();
-            let mut rel_hm = Vec::new();
-            let mut rel_ws = Vec::new();
-            for w in 0..wls.len() {
-                let this = &results[w * configs.len() + ci].metrics;
-                let base = &results[w * configs.len()].metrics; // C-L is index 0
-                rel_thr.push(this.throughput / base.throughput);
-                rel_hm.push(this.harmonic_mean / base.harmonic_mean);
-                rel_ws.push(this.weighted_speedup / base.weighted_speedup);
-            }
+        for cpa in &configs {
+            let rels: Vec<WorkloadMetrics> = names
+                .iter()
+                .map(|wl| rel(&report, wl, &cpa.acronym(), &baseline))
+                .collect();
             rows.push(Fig7Row {
                 cores: threads,
                 acronym: cpa.acronym(),
-                rel_throughput: mean(&rel_thr),
-                rel_harmonic_mean: mean(&rel_hm),
-                rel_weighted_speedup: mean(&rel_ws),
+                rel_throughput: mean_of(&rels, |m| m.throughput),
+                rel_harmonic_mean: mean_of(&rels, |m| m.harmonic_mean),
+                rel_weighted_speedup: mean_of(&rels, |m| m.weighted_speedup),
             });
         }
-        raw.extend(results);
     }
     (rows, raw)
 }
@@ -273,27 +308,66 @@ pub fn fig8_schemes() -> Vec<CpaConfig> {
 /// L2 sizes swept by Figure 8.
 pub const FIG8_SIZES: [u64; 3] = [512 * 1024, 1024 * 1024, 2 * 1024 * 1024];
 
+/// The Figure 8 sweep as a spec: every 2-thread workload, each CPA scheme
+/// next to its non-partitioned baseline policy, across the three L2 sizes.
+pub fn fig8_spec(opts: &Options) -> ScenarioSpec {
+    let mut schemes = Vec::new();
+    for cpa in fig8_schemes() {
+        schemes.push(cpa.policy.acronym().to_string());
+        schemes.push(cpa.acronym());
+    }
+    ScenarioSpec {
+        name: spec_name("fig8", opts.quick),
+        description: Some(
+            "Figure 8: dynamic CPA vs the non-partitioned same-policy cache at 512K/1M/2M".into(),
+        ),
+        insts: Some(opts.insts),
+        seed: Some(opts.seed),
+        workloads: select_workloads(2, opts.quick)
+            .into_iter()
+            .map(|w| WorkloadSel::Named(w.name))
+            .collect(),
+        schemes,
+        l2_sizes: Some(FIG8_SIZES.to_vec()),
+        ..Default::default()
+    }
+}
+
 /// Run the Figure 8 experiment.
 pub fn fig8_experiment(opts: &Options) -> Vec<Fig8Row> {
-    let wls = select_workloads(2, opts.quick);
+    let report = SweepRunner::new()
+        .run(&fig8_spec(opts))
+        .expect("fig8 spec is valid");
+    let names: Vec<String> = select_workloads(2, opts.quick)
+        .into_iter()
+        .map(|w| w.name)
+        .collect();
     let mut rows = Vec::new();
     for cpa in fig8_schemes() {
+        let (part, base) = (cpa.acronym(), cpa.policy.acronym());
         for &size in &FIG8_SIZES {
-            let base = engine(2, opts).l2_size(size).policy(cpa.policy).build();
-            let part = engine(2, opts).l2_size(size).cpa(cpa.clone()).build();
-            let rels: Vec<f64> = parallel_map(&wls, |wl| {
-                cmpsim::throughput(&part.run(wl).ipcs()) / cmpsim::throughput(&base.run(wl).ipcs())
-            });
-            for (wl, &rel) in wls.iter().zip(&rels) {
+            let rels: Vec<f64> = names
+                .iter()
+                .map(|wl| {
+                    let p = report
+                        .find_at(wl, &part, size, 0)
+                        .unwrap_or_else(|| panic!("({wl}, {part}, {size}) missing"));
+                    let b = report
+                        .find_at(wl, base, size, 0)
+                        .unwrap_or_else(|| panic!("({wl}, {base}, {size}) missing"));
+                    p.metrics.throughput / b.metrics.throughput
+                })
+                .collect();
+            for (wl, &rel) in names.iter().zip(&rels) {
                 rows.push(Fig8Row {
-                    scheme: cpa.acronym(),
+                    scheme: part.clone(),
                     l2_bytes: size,
-                    workload: wl.name.clone(),
+                    workload: wl.clone(),
                     rel_throughput: rel,
                 });
             }
             rows.push(Fig8Row {
-                scheme: cpa.acronym(),
+                scheme: part.clone(),
                 l2_bytes: size,
                 workload: "AVG".to_string(),
                 rel_throughput: mean(&rels),
@@ -357,5 +431,34 @@ mod tests {
     fn fig8_schemes_match_the_paper() {
         let names: Vec<String> = fig8_schemes().iter().map(|c| c.acronym()).collect();
         assert_eq!(names, vec!["M-L", "M-0.75N", "M-BT"]);
+    }
+
+    #[test]
+    fn fig6_quick_spec_expands_to_the_cross_product() {
+        let spec = fig6_spec(&quick_opts());
+        let cases = spec.expand().unwrap();
+        // (4 singles + 4+4+4 Table II workloads) x 3 policies.
+        assert_eq!(cases.len(), 16 * 3);
+        assert_eq!(cases[0].workload, tracegen::benchmark_names()[0]);
+        assert_eq!(cases[0].threads(), 1);
+    }
+
+    #[test]
+    fn fig7_full_spec_covers_all_49_workloads() {
+        let mut o = quick_opts();
+        o.quick = false;
+        let spec = fig7_spec(&o);
+        assert_eq!(spec.workloads.len(), 49);
+        assert_eq!(spec.schemes.len(), 6);
+        assert_eq!(spec.schemes[0], "C-L");
+    }
+
+    #[test]
+    fn fig8_quick_spec_pairs_each_cpa_with_its_baseline() {
+        let spec = fig8_spec(&quick_opts());
+        assert_eq!(spec.schemes, vec!["L", "M-L", "N", "M-0.75N", "BT", "M-BT"]);
+        assert_eq!(spec.l2_sizes.as_deref(), Some(&FIG8_SIZES[..]));
+        let cases = spec.expand().unwrap();
+        assert_eq!(cases.len(), 4 * 6 * 3);
     }
 }

@@ -13,7 +13,8 @@ pub mod options;
 pub mod table;
 
 pub use experiments::{
-    engine, fig6_experiment, fig7_experiment, fig8_experiment, ConfigRun, Fig6Row, Fig7Row, Fig8Row,
+    engine, fig6_experiment, fig6_spec, fig7_experiment, fig7_spec, fig8_experiment, fig8_spec,
+    ConfigRun, Fig6Row, Fig7Row, Fig8Row,
 };
 pub use options::Options;
 pub use table::TextTable;

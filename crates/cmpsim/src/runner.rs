@@ -49,15 +49,18 @@ where
         .collect()
 }
 
-/// Key of one isolation run: the benchmark, the L2 policy, and the whole
-/// solo machine (geometries, latencies, instruction target, seed) — every
-/// input that changes the resulting IPC. The full config matters because
-/// one `IsolationCache` may now be shared across engines built from
-/// different machines.
+/// Key of one isolation run: the benchmark, the L2 policy, the seed salt
+/// and the whole solo machine (geometries, latencies, instruction target,
+/// seed) — every input that changes the resulting IPC. The full config
+/// matters because one `IsolationCache` may now be shared across engines
+/// built from different machines, and the salt matters because seed sweeps
+/// perturb the generated trace: without it a salted engine would divide by
+/// another salt's memoised isolation IPC.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct IsoKey {
     benchmark: String,
     policy: PolicyKind,
+    seed_salt: u64,
     solo_cfg: MachineConfig,
 }
 
@@ -77,12 +80,23 @@ impl IsolationCache {
 
     /// IPC of `benchmark` running alone on a single-core machine derived
     /// from `cfg` (same caches, same latencies, full L2, no partitioning).
-    pub fn isolation_ipc(&self, cfg: &MachineConfig, benchmark: &str, policy: PolicyKind) -> f64 {
+    ///
+    /// `seed_salt` must match the salt of the shared run the caller
+    /// divides by: it perturbs the generated trace, so the solo run is
+    /// simulated — and memoised — under the same salt.
+    pub fn isolation_ipc(
+        &self,
+        cfg: &MachineConfig,
+        benchmark: &str,
+        policy: PolicyKind,
+        seed_salt: u64,
+    ) -> f64 {
         let mut solo = cfg.clone();
         solo.num_cores = 1;
         let key = IsoKey {
             benchmark: benchmark.to_string(),
             policy,
+            seed_salt,
             solo_cfg: solo,
         };
         if let Some(&ipc) = self.map.lock().get(&key) {
@@ -90,7 +104,7 @@ impl IsolationCache {
         }
         let profile = tracegen::benchmark(benchmark)
             .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
-        let mut sys = System::from_profiles(&key.solo_cfg, &[profile], policy, None, 0);
+        let mut sys = System::from_profiles(&key.solo_cfg, &[profile], policy, None, seed_salt);
         let ipc = sys.run().ipc(0);
         self.map.lock().insert(key, ipc);
         ipc
@@ -102,10 +116,11 @@ impl IsolationCache {
         cfg: &MachineConfig,
         benchmarks: &[String],
         policy: PolicyKind,
+        seed_salt: u64,
     ) -> Vec<f64> {
         benchmarks
             .iter()
-            .map(|b| self.isolation_ipc(cfg, b, policy))
+            .map(|b| self.isolation_ipc(cfg, b, policy, seed_salt))
             .collect()
     }
 
@@ -159,9 +174,9 @@ mod tests {
         let mut cfg = MachineConfig::paper_baseline(1);
         cfg.insts_target = 30_000;
         let cache = IsolationCache::new();
-        let a = cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru);
+        let a = cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 0);
         assert_eq!(cache.len(), 1);
-        let b = cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru);
+        let b = cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 0);
         assert_eq!(a, b);
         assert_eq!(cache.len(), 1, "second call was memoised");
     }
@@ -171,10 +186,10 @@ mod tests {
         let mut cfg = MachineConfig::paper_baseline(1);
         cfg.insts_target = 30_000;
         let cache = IsolationCache::new();
-        cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru);
-        cache.isolation_ipc(&cfg, "gzip", PolicyKind::Nru);
+        cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 0);
+        cache.isolation_ipc(&cfg, "gzip", PolicyKind::Nru, 0);
         let small = cfg.with_l2_size(512 * 1024).unwrap();
-        cache.isolation_ipc(&small, "gzip", PolicyKind::Lru);
+        cache.isolation_ipc(&small, "gzip", PolicyKind::Lru, 0);
         assert_eq!(cache.len(), 3);
     }
 
@@ -185,23 +200,43 @@ mod tests {
         let mut cfg = MachineConfig::paper_baseline(1);
         cfg.insts_target = 30_000;
         let cache = IsolationCache::new();
-        cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru);
+        cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 0);
 
         let mut reseeded = cfg.clone();
         reseeded.seed ^= 0xDEAD_BEEF;
-        cache.isolation_ipc(&reseeded, "gzip", PolicyKind::Lru);
+        cache.isolation_ipc(&reseeded, "gzip", PolicyKind::Lru, 0);
 
         let mut slower = cfg.clone();
         slower.latencies.l2_miss += 100;
-        cache.isolation_ipc(&slower, "gzip", PolicyKind::Lru);
+        cache.isolation_ipc(&slower, "gzip", PolicyKind::Lru, 0);
         assert_eq!(cache.len(), 3, "seed and latency changes must not collide");
 
         // The caller's core count is irrelevant: the solo machine is
         // always single-core, so this must hit.
         let mut multi = cfg.clone();
         multi.num_cores = 4;
-        cache.isolation_ipc(&multi, "gzip", PolicyKind::Lru);
+        cache.isolation_ipc(&multi, "gzip", PolicyKind::Lru, 0);
         assert_eq!(cache.len(), 3, "core count must not fragment the memo");
+    }
+
+    #[test]
+    fn isolation_distinguishes_seed_salts() {
+        // Regression for the seed-sweep aliasing bug: the memo used to be
+        // keyed without the salt, so a sweep over seed salts read one
+        // salt's isolation IPC for every other salt.
+        let mut cfg = MachineConfig::paper_baseline(1);
+        cfg.insts_target = 30_000;
+        let cache = IsolationCache::new();
+        let base = cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 0);
+        let salted = cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 1);
+        assert_eq!(cache.len(), 2, "different salts must not alias");
+        assert_ne!(
+            base, salted,
+            "salting perturbs the trace, so the solo IPC moves too"
+        );
+        // Same salt still hits the memo.
+        cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 1);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
@@ -210,8 +245,8 @@ mod tests {
         cfg.insts_target = 20_000;
         let cache = IsolationCache::new();
         let names = vec!["gzip".to_string(), "eon".to_string()];
-        let v = cache.isolation_ipcs(&cfg, &names, PolicyKind::Lru);
+        let v = cache.isolation_ipcs(&cfg, &names, PolicyKind::Lru, 0);
         assert_eq!(v.len(), 2);
-        assert_eq!(v[0], cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru));
+        assert_eq!(v[0], cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 0));
     }
 }

@@ -18,6 +18,21 @@ pub struct Workload {
 }
 
 impl Workload {
+    /// An ad-hoc workload over an explicit benchmark mix (one per core),
+    /// named after its members (`"galgel+eon"`). Returns `None` if any
+    /// benchmark name is unknown — unlike Table II entries, ad-hoc mixes
+    /// arrive from user-authored scenario specs, so lookup failures must
+    /// be reportable rather than panic.
+    pub fn adhoc(benchmarks: &[String]) -> Option<Workload> {
+        if benchmarks.is_empty() || benchmarks.iter().any(|b| benchmark(b).is_none()) {
+            return None;
+        }
+        Some(Workload {
+            name: benchmarks.join("+"),
+            benchmarks: benchmarks.to_vec(),
+        })
+    }
+
     /// Number of threads (= cores) in the workload.
     pub fn threads(&self) -> usize {
         self.benchmarks.len()
@@ -221,6 +236,16 @@ mod tests {
             };
             assert_eq!(w.threads(), expect, "{}", w.name);
         }
+    }
+
+    #[test]
+    fn adhoc_workloads_resolve_and_name_themselves() {
+        let w = Workload::adhoc(&["galgel".to_string(), "eon".to_string()]).unwrap();
+        assert_eq!(w.name, "galgel+eon");
+        assert_eq!(w.threads(), 2);
+        assert_eq!(w.profiles().len(), 2);
+        assert!(Workload::adhoc(&["nonesuch".to_string()]).is_none());
+        assert!(Workload::adhoc(&[]).is_none());
     }
 
     #[test]

@@ -1,74 +1,31 @@
 //! The paper's core idea, visualised: feed the same L2 access stream to
-//! the exact LRU profiler and to the two estimated-SDH profilers (NRU with
+//! the exact LRU profiler and to the estimated-SDH profilers (NRU with
 //! each scaling factor, and BT), and print the resulting miss curves side
 //! by side. The eSDH curves are estimates — their shape, not their exact
 //! values, is what MinMisses consumes.
+//!
+//! The profiler list, record count and trace seed are declared in the
+//! shipped `scenarios/miss_curves.json` spec; an optional argument
+//! overrides the benchmark.
 //!
 //! ```sh
 //! cargo run --release --example miss_curves [benchmark]
 //! ```
 
-use plru_core::profiler::{BtProfiler, LruProfiler, NruProfiler};
-use plru_core::{NruUpdateMode, Profiler};
 use plru_repro::prelude::*;
-use tracegen::TraceGenerator;
+
+const SPEC_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/scenarios/miss_curves.json");
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "twolf".into());
-    let profile = benchmark(&name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    println!("benchmark: {name}");
-
-    let geom = CacheGeometry::new(2 * 1024 * 1024, 16, 128).unwrap();
-    // Full (unsampled) ATDs so the curves are smooth in a short run.
-    let mut lru = LruProfiler::new(geom, 1);
-    let mut nru10 = NruProfiler::new(geom, 1, 1.0, NruUpdateMode::Scaled);
-    let mut nru75 = NruProfiler::new(geom, 1, 0.75, NruUpdateMode::Scaled);
-    let mut nru50 = NruProfiler::new(geom, 1, 0.5, NruUpdateMode::Scaled);
-    let mut bt = BtProfiler::new(geom, 1);
-
-    // The profilers watch the L2 access stream: filter the raw trace
-    // through a private L1D exactly as the CMP does.
-    let l1_geom = CacheGeometry::new(32 * 1024, 2, 128).unwrap();
-    let mut l1 = Cache::new(CacheConfig {
-        geometry: l1_geom,
-        policy: PolicyKind::Lru,
-        num_cores: 1,
-        seed: 0,
-    });
-
-    let mut gen = TraceGenerator::new(profile, 42);
-    let mut l2_accesses = 0u64;
-    for _ in 0..400_000 {
-        let rec = gen.next_record();
-        if !l1.access(0, rec.addr, rec.is_write).hit {
-            l2_accesses += 1;
-            lru.observe(rec.addr);
-            nru10.observe(rec.addr);
-            nru75.observe(rec.addr);
-            nru50.observe(rec.addr);
-            bt.observe(rec.addr);
-        }
+    let text = std::fs::read_to_string(SPEC_PATH).expect("shipped spec");
+    let mut spec = MissCurveSpec::from_json(&text).expect("spec parses");
+    if let Some(benchmark) = std::env::args().nth(1) {
+        spec.benchmark = benchmark;
     }
-    println!("L2 accesses observed: {l2_accesses}\n");
 
-    println!(
-        "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
-        "ways", "SDH (LRU)", "eSDH 1.0N", "eSDH .75N", "eSDH .5N", "eSDH BT"
-    );
-    let curves = [
-        lru.sdh().miss_curve(),
-        nru10.sdh().miss_curve(),
-        nru75.sdh().miss_curve(),
-        nru50.sdh().miss_curve(),
-        bt.sdh().miss_curve(),
-    ];
-    // `w` indexes all five curves at once (one table row per way count).
-    #[allow(clippy::needless_range_loop)]
-    for w in 0..=16usize {
-        println!(
-            "{:>4}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
-            w, curves[0][w], curves[1][w], curves[2][w], curves[3][w], curves[4][w]
-        );
-    }
+    let report = run_miss_curves(&spec).unwrap_or_else(|e| panic!("{e}"));
+    println!("benchmark: {}", report.benchmark);
+    println!("L2 accesses observed: {}\n", report.l2_accesses);
+    print!("{}", report.render_table());
     println!("\n(predicted misses when the thread is given w ways; row 0 = no cache)");
 }

@@ -1,7 +1,12 @@
-//! Watch the dynamic CPA adapt: run a phase-heavy workload (galgel swings
-//! between a large and a small working set every 300k instructions) and
-//! print the ways-per-thread allocation the MinMisses controller picks at
-//! every interval boundary.
+//! Watch the dynamic CPA adapt: run the shipped
+//! `scenarios/partition_dynamics.json` spec (galgel swings between a large
+//! and a small working set next to eon's small, steady one) and print the
+//! ways-per-thread allocation the MinMisses controller picks at every
+//! interval boundary.
+//!
+//! The scenario subsystem does all the wiring: the spec declares the mix,
+//! the scheme and the interval; `capture_history` makes the sweep record
+//! the controller's allocation at each boundary.
 //!
 //! ```sh
 //! cargo run --release --example partition_dynamics
@@ -9,34 +14,43 @@
 
 use plru_repro::prelude::*;
 
+const SPEC_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/scenarios/partition_dynamics.json"
+);
+
 fn main() {
-    // galgel (phase-heavy) next to eon (small, steady working set).
-    let profiles = vec![
-        benchmark("galgel").expect("profile"),
-        benchmark("eon").expect("profile"),
-    ];
-    let mut cpa = CpaConfig::m_l();
-    cpa.interval_cycles = 250_000; // finer cadence so the adaptation shows
+    let text = std::fs::read_to_string(SPEC_PATH).expect("shipped spec");
+    let spec = ScenarioSpec::from_json(&text).expect("spec parses");
+    let report = SweepRunner::new().run(&spec).expect("spec expands");
+    let case = &report.cases[0];
+    let names = &case.case.benchmarks;
 
-    let engine = SimEngine::builder()
-        .cores(2)
-        .insts(1_200_000)
-        .cpa(cpa)
-        .build();
-    let mut sys = engine.system_from_profiles(&profiles);
-    let r = sys.run();
-
-    println!("galgel + eon under M-L dynamic partitioning\n");
-    println!("{:>9}  {:>8}  {:>6}", "interval", "galgel", "eon");
-    let history = sys.controller().expect("CPA ran").history().to_vec();
+    println!(
+        "{} under {} dynamic partitioning\n",
+        case.case.workload, case.scheme
+    );
+    println!("{:>9}  {:>8}  {:>6}", "interval", names[0], names[1]);
+    let history = case
+        .allocation_history
+        .as_ref()
+        .expect("capture_history spec records the controller");
     for (i, alloc) in history.iter().enumerate() {
         let bar: String = "g".repeat(alloc[0]) + &"e".repeat(alloc[1]);
         println!("{:>9}  {:>8}  {:>6}   |{bar}|", i, alloc[0], alloc[1]);
     }
 
-    println!("\nfinal IPCs: galgel {:.4}, eon {:.4}", r.ipc(0), r.ipc(1));
+    let r = &case.result;
     println!(
-        "galgel L2 miss rate: {:.3}",
+        "\nfinal IPCs: {} {:.4}, {} {:.4}",
+        names[0],
+        r.ipc(0),
+        names[1],
+        r.ipc(1)
+    );
+    println!(
+        "{} L2 miss rate: {:.3}",
+        names[0],
         r.cores[0].l2_misses as f64 / r.cores[0].l2_accesses as f64
     );
     println!("(the galgel share should breathe with its phases)");

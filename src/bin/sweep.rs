@@ -1,0 +1,132 @@
+//! Run a declarative scenario spec: expand its axes, execute every case
+//! over the work-stealing pool, and print the aligned result table.
+//!
+//! ```sh
+//! cargo run --release --bin sweep -- scenarios/smoke_2t.json
+//! cargo run --release --bin sweep -- scenarios/fig8_quick.json --threads 8 --json out.json
+//! cargo run --release --bin sweep -- scenarios/miss_curves.json
+//! ```
+//!
+//! Specs with `"kind": "miss_curves"` run the profiler comparison instead
+//! of a simulation sweep; everything else is a [`ScenarioSpec`].
+
+use plru_repro::prelude::*;
+use serde::Deserialize;
+use std::process::exit;
+
+/// Peeks at the optional `kind` discriminator without committing to a
+/// spec shape (unknown JSON fields are ignored by both spec parsers).
+#[derive(Debug, Deserialize)]
+struct KindProbe {
+    kind: Option<String>,
+}
+
+struct Args {
+    spec_path: String,
+    threads: Option<usize>,
+    json: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sweep <spec.json> [--threads N] [--json PATH]\n\
+         \n\
+         <spec.json>   scenario spec (see scenarios/ and the README's\n\
+         \u{20}             \"Scenario sweeps\" section for the schema)\n\
+         --threads N   worker count (default: all hardware threads)\n\
+         --json PATH   also write the full report as pretty JSON"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut spec_path = None;
+    let mut threads = None;
+    let mut json = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--json" => json = Some(it.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other}");
+                usage();
+            }
+            path => {
+                if spec_path.replace(path.to_string()).is_some() {
+                    eprintln!("more than one spec path given");
+                    usage();
+                }
+            }
+        }
+    }
+    Args {
+        spec_path: spec_path.unwrap_or_else(|| usage()),
+        threads,
+        json,
+    }
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("sweep: {msg}");
+    exit(1);
+}
+
+fn write_json(path: &str, contents: &str) {
+    std::fs::write(path, contents).unwrap_or_else(|e| fail(format!("writing {path}: {e}")));
+    eprintln!("wrote {path}");
+}
+
+fn main() {
+    let args = parse_args();
+    let text = std::fs::read_to_string(&args.spec_path)
+        .unwrap_or_else(|e| fail(format!("reading {}: {e}", args.spec_path)));
+    let probe: KindProbe = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(format!("parsing {}: {e}", args.spec_path)));
+
+    match probe.kind.as_deref() {
+        Some("miss_curves") => {
+            let spec = MissCurveSpec::from_json(&text)
+                .unwrap_or_else(|e| fail(format!("parsing {}: {e}", args.spec_path)));
+            let report = run_miss_curves(&spec).unwrap_or_else(|e| fail(e));
+            println!("benchmark: {}", report.benchmark);
+            println!("L2 accesses observed: {}\n", report.l2_accesses);
+            print!("{}", report.render_table());
+            println!("\n(predicted misses when the thread is given w ways; row 0 = no cache)");
+            if let Some(path) = &args.json {
+                write_json(path, &report.to_json_pretty());
+            }
+        }
+        Some(other) => fail(format!("unknown spec kind `{other}`")),
+        None => {
+            let spec = ScenarioSpec::from_json(&text)
+                .unwrap_or_else(|e| fail(format!("parsing {}: {e}", args.spec_path)));
+            let runner = match args.threads {
+                Some(n) => SweepRunner::with_threads(n),
+                None => SweepRunner::new(),
+            };
+            let cases = spec.expand().unwrap_or_else(|e| fail(e));
+            eprintln!(
+                "sweep `{}`: {} cases on {} worker(s)",
+                spec.name,
+                cases.len(),
+                runner.threads().min(cases.len().max(1)),
+            );
+            let report = SweepReport {
+                spec,
+                cases: runner.run_cases(&cases),
+            };
+            print!("{}", report.render_table());
+            if let Some(path) = &args.json {
+                write_json(path, &report.to_json_pretty());
+            }
+        }
+    }
+}

@@ -254,17 +254,17 @@ impl SimEngine {
     }
 
     /// Memoised isolation IPC of one benchmark (alone, full L2, this
-    /// engine's policy) — the `IPC_isolation` every relative metric
-    /// divides by.
+    /// engine's policy and seed salt) — the `IPC_isolation` every relative
+    /// metric divides by.
     pub fn isolation_ipc(&self, benchmark: &str) -> f64 {
         self.isolation
-            .isolation_ipc(&self.cfg, benchmark, self.policy)
+            .isolation_ipc(&self.cfg, benchmark, self.policy, self.seed_salt)
     }
 
     /// Isolation IPCs for a workload's benchmarks, in thread order.
     pub fn isolation_ipcs(&self, benchmarks: &[String]) -> Vec<f64> {
         self.isolation
-            .isolation_ipcs(&self.cfg, benchmarks, self.policy)
+            .isolation_ipcs(&self.cfg, benchmarks, self.policy, self.seed_salt)
     }
 
     /// The paper's three metrics for a finished run of `workload`.

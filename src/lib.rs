@@ -15,9 +15,13 @@
 //!   MinMisses selection, enforcement translation, dynamic controller.
 //! * [`hwmodel`] — Table I complexity, ATD area and Figure 9 power models.
 //!
-//! It also hosts the [`engine`] layer: every figure/table binary, example
+//! It also hosts the [`engine`] layer — every figure/table binary, example
 //! and integration test constructs its simulations through
-//! [`engine::SimEngine`] rather than wiring the member crates by hand.
+//! [`engine::SimEngine`] rather than wiring the member crates by hand —
+//! and the [`scenario`] subsystem on top of it: declarative JSON sweep
+//! specs (`scenarios/*.json`), a work-stealing [`scenario::SweepRunner`],
+//! and golden-snapshot-tested [`scenario::SweepReport`]s, driven by the
+//! `sweep` bin.
 //!
 //! ## Quickstart
 //!
@@ -35,6 +39,7 @@
 //! ```
 
 pub mod engine;
+pub mod scenario;
 
 pub use cachesim;
 pub use cmpsim;
@@ -43,10 +48,15 @@ pub use plru_core;
 pub use tracegen;
 
 pub use engine::{SimEngine, SimEngineBuilder};
+pub use scenario::{ScenarioSpec, SweepRunner};
 
 /// One-stop imports for examples and tests.
 pub mod prelude {
     pub use crate::engine::{parallel_map, IsolationCache, SimEngine, SimEngineBuilder};
+    pub use crate::scenario::{
+        run_miss_curves, CaseReport, MissCurve, MissCurveReport, MissCurveSpec, ScenarioCase,
+        ScenarioError, ScenarioSpec, SchemeKind, SweepReport, SweepRunner, WorkloadSel,
+    };
     pub use cachesim::{
         Access, BatchStats, Cache, CacheConfig, CacheGeometry, Enforcement, PolicyKind, WayMask,
     };

@@ -1,0 +1,423 @@
+//! Deterministic expansion of a [`ScenarioSpec`] into concrete cases.
+//!
+//! Expansion is pure and fully ordered: `workloads` (outermost) ×
+//! `schemes` × `l2_sizes` × `l2_assocs` × `seed_salts` (innermost), with
+//! each axis deduplicated first (first occurrence wins; schemes dedupe by
+//! their canonical acronym). The case count is therefore exactly the
+//! product of the deduplicated axis lengths, and `ScenarioCase::index` is
+//! the position in that order — the contract the golden-snapshot and
+//! property tests pin.
+
+use crate::engine::{IsolationCache, SimEngine};
+use crate::scenario::spec::{ScenarioSpec, WorkloadSel};
+use cachesim::{CacheGeometry, PolicyKind};
+use cmpsim::MachineConfig;
+use plru_core::CpaConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+use tracegen::Workload;
+
+/// Why a spec could not be expanded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    msg: String,
+}
+
+impl ScenarioError {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        ScenarioError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// One entry of the scheme axis, parsed: a bare replacement policy (run
+/// unpartitioned) or a full dynamic-CPA configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Unpartitioned L2 under a replacement policy.
+    Policy(PolicyKind),
+    /// Dynamic cache-partitioning configuration (policy implied).
+    Cpa(CpaConfig),
+}
+
+impl SchemeKind {
+    /// Parse a scheme string: a policy acronym (`"L"`, `"N"`, `"BT"`,
+    /// `"R"`) or a CPA acronym (`"C-L"`, `"M-0.75N"`, ...). A spec-level
+    /// `interval_cycles` override is folded into CPA schemes here.
+    pub fn parse(s: &str, interval_cycles: Option<u64>) -> Result<SchemeKind, ScenarioError> {
+        if let Some(mut cpa) = CpaConfig::from_acronym(s) {
+            if let Some(iv) = interval_cycles {
+                cpa.interval_cycles = iv;
+            }
+            return Ok(SchemeKind::Cpa(cpa));
+        }
+        let policy = match s {
+            "L" => PolicyKind::Lru,
+            "N" => PolicyKind::Nru,
+            "BT" => PolicyKind::Bt,
+            "R" => PolicyKind::Random,
+            other => {
+                return Err(ScenarioError::new(format!(
+                    "unknown scheme `{other}` (expected a policy acronym L/N/BT/R \
+                     or a CPA acronym like C-L, M-L, M-0.75N, M-BT)"
+                )))
+            }
+        };
+        Ok(SchemeKind::Policy(policy))
+    }
+
+    /// The paper-style acronym (`"L"`, `"M-0.75N"`, ...).
+    pub fn acronym(&self) -> String {
+        match self {
+            SchemeKind::Policy(p) => p.acronym().to_string(),
+            SchemeKind::Cpa(c) => c.acronym(),
+        }
+    }
+
+    /// The L2 replacement policy the scheme runs.
+    pub fn policy(&self) -> PolicyKind {
+        match self {
+            SchemeKind::Policy(p) => *p,
+            SchemeKind::Cpa(c) => c.policy,
+        }
+    }
+}
+
+/// One fully resolved point of a sweep: everything needed to build and run
+/// a [`SimEngine`] simulation, in expansion order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioCase {
+    /// Position in the spec's expansion order.
+    pub index: usize,
+    /// Workload display name (`"2T_05"` or `"galgel+eon"`).
+    pub workload: String,
+    /// Benchmark names, one per core.
+    pub benchmarks: Vec<String>,
+    /// Replacement/partitioning scheme.
+    pub scheme: SchemeKind,
+    /// Shared-L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// Shared-L2 associativity.
+    pub l2_assoc: usize,
+    /// Per-core trace seed salt.
+    pub seed_salt: u64,
+    /// Committed-instruction target per thread.
+    pub insts: u64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Record the controller's allocation history during the run.
+    pub capture_history: bool,
+}
+
+impl ScenarioCase {
+    /// Thread (= core) count of the case.
+    pub fn threads(&self) -> usize {
+        self.benchmarks.len()
+    }
+
+    /// The workload the case runs.
+    pub fn to_workload(&self) -> Workload {
+        Workload {
+            name: self.workload.clone(),
+            benchmarks: self.benchmarks.clone(),
+        }
+    }
+
+    /// The machine the case simulates: the paper baseline at the case's
+    /// core count with the case's L2 shape, instruction target and seed.
+    pub fn machine(&self) -> MachineConfig {
+        let mut cfg = MachineConfig::paper_baseline(self.threads());
+        cfg.insts_target = self.insts;
+        cfg.seed = self.seed;
+        cfg.l2 = CacheGeometry::new(self.l2_bytes, self.l2_assoc, cfg.l2.line_bytes())
+            .expect("geometry validated at expansion");
+        cfg
+    }
+
+    /// Build the case's engine on a shared isolation memo.
+    pub fn engine(&self, isolation: Arc<IsolationCache>) -> SimEngine {
+        let builder = SimEngine::builder()
+            .machine(self.machine())
+            .seed_salt(self.seed_salt)
+            .isolation(isolation);
+        match &self.scheme {
+            SchemeKind::Policy(p) => builder.policy(*p),
+            SchemeKind::Cpa(c) => builder.cpa(c.clone()),
+        }
+        .build()
+    }
+}
+
+/// Stable dedup: keep the first occurrence of each value.
+fn dedupe<T: PartialEq + Clone>(xs: &[T]) -> Vec<T> {
+    let mut out: Vec<T> = Vec::with_capacity(xs.len());
+    for x in xs {
+        if !out.contains(x) {
+            out.push(x.clone());
+        }
+    }
+    out
+}
+
+fn non_empty<T>(axis: &[T], name: &str) -> Result<(), ScenarioError> {
+    if axis.is_empty() {
+        Err(ScenarioError::new(format!(
+            "axis `{name}` must list at least one value"
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+impl ScenarioSpec {
+    /// Expand the spec into its ordered case list.
+    ///
+    /// Errors on unknown workload/benchmark/scheme names, empty axes, and
+    /// (size, associativity, policy) combinations no case could simulate
+    /// (invalid geometry, or BT at a non-power-of-two associativity).
+    pub fn expand(&self) -> Result<Vec<ScenarioCase>, ScenarioError> {
+        let baseline = MachineConfig::paper_baseline(2);
+        let insts = self.insts.unwrap_or(baseline.insts_target);
+        let seed = self.seed.unwrap_or(baseline.seed);
+        let capture_history = self.capture_history.unwrap_or(false);
+
+        non_empty(&self.workloads, "workloads")?;
+        non_empty(&self.schemes, "schemes")?;
+
+        // Resolve the workload axis (validates every name).
+        let mut workloads: Vec<Workload> = Vec::new();
+        for sel in &dedupe(&self.workloads) {
+            let wl = match sel {
+                WorkloadSel::Named(name) => tracegen::workload(name).ok_or_else(|| {
+                    ScenarioError::new(format!("unknown Table II workload `{name}`"))
+                })?,
+                WorkloadSel::Profiles(benchmarks) => {
+                    Workload::adhoc(benchmarks).ok_or_else(|| {
+                        ScenarioError::new(format!(
+                            "workload mix {benchmarks:?} is empty or names an unknown benchmark"
+                        ))
+                    })?
+                }
+            };
+            workloads.push(wl);
+        }
+
+        // Parse the scheme axis, then dedupe by canonical acronym so
+        // spellings like `M-.75N` and `M-0.75N` collapse.
+        let parsed: Vec<SchemeKind> = self
+            .schemes
+            .iter()
+            .map(|s| SchemeKind::parse(s, self.interval_cycles))
+            .collect::<Result<_, _>>()?;
+        let mut schemes: Vec<SchemeKind> = Vec::new();
+        for s in parsed {
+            if !schemes.iter().any(|t| t.acronym() == s.acronym()) {
+                schemes.push(s);
+            }
+        }
+
+        let l2_sizes = dedupe(
+            self.l2_sizes
+                .as_deref()
+                .unwrap_or(&[baseline.l2.size_bytes()]),
+        );
+        let l2_assocs = dedupe(self.l2_assocs.as_deref().unwrap_or(&[baseline.l2.assoc()]));
+        let seed_salts = dedupe(self.seed_salts.as_deref().unwrap_or(&[0]));
+        non_empty(&l2_sizes, "l2_sizes")?;
+        non_empty(&l2_assocs, "l2_assocs")?;
+        non_empty(&seed_salts, "seed_salts")?;
+
+        // Validate every (size, assoc, policy) combination up front so a
+        // bad spec fails as a whole instead of mid-sweep.
+        for &size in &l2_sizes {
+            for &assoc in &l2_assocs {
+                CacheGeometry::new(size, assoc, baseline.l2.line_bytes()).map_err(|e| {
+                    ScenarioError::new(format!("invalid L2 shape {size} B x {assoc}-way: {e:?}"))
+                })?;
+                for scheme in &schemes {
+                    scheme.policy().validate_assoc(assoc).map_err(|e| {
+                        ScenarioError::new(format!(
+                            "scheme {} cannot run {assoc}-way: {e:?}",
+                            scheme.acronym()
+                        ))
+                    })?;
+                }
+            }
+        }
+
+        let mut cases = Vec::new();
+        for wl in &workloads {
+            for scheme in &schemes {
+                for &l2_bytes in &l2_sizes {
+                    for &l2_assoc in &l2_assocs {
+                        for &seed_salt in &seed_salts {
+                            cases.push(ScenarioCase {
+                                index: cases.len(),
+                                workload: wl.name.clone(),
+                                benchmarks: wl.benchmarks.clone(),
+                                scheme: scheme.clone(),
+                                l2_bytes,
+                                l2_assoc,
+                                seed_salt,
+                                insts,
+                                seed,
+                                capture_history,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cases)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::spec::WorkloadSel;
+
+    fn base_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "t".into(),
+            insts: Some(10_000),
+            workloads: vec![WorkloadSel::Named("2T_06".into())],
+            schemes: vec!["L".into()],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn defaults_fill_in_the_paper_baseline() {
+        let cases = base_spec().expand().unwrap();
+        assert_eq!(cases.len(), 1);
+        let c = &cases[0];
+        assert_eq!(c.l2_bytes, 2 * 1024 * 1024);
+        assert_eq!(c.l2_assoc, 16);
+        assert_eq!(c.seed_salt, 0);
+        assert_eq!(c.seed, MachineConfig::paper_baseline(2).seed);
+        assert_eq!(c.machine().num_cores, 2);
+        assert!(!c.capture_history);
+    }
+
+    #[test]
+    fn expansion_order_is_workloads_schemes_sizes_assocs_salts() {
+        let mut spec = base_spec();
+        spec.workloads = vec![
+            WorkloadSel::Named("2T_06".into()),
+            WorkloadSel::Profiles(vec!["gzip".into()]),
+        ];
+        spec.schemes = vec!["L".into(), "N".into()];
+        spec.l2_sizes = Some(vec![512 * 1024, 2 * 1024 * 1024]);
+        spec.seed_salts = Some(vec![0, 1]);
+        let cases = spec.expand().unwrap();
+        assert_eq!(cases.len(), 2 * 2 * 2 * 2);
+        // Innermost axis moves fastest.
+        assert_eq!(
+            (
+                &cases[0].workload[..],
+                &cases[0].scheme.acronym()[..],
+                cases[0].l2_bytes,
+                cases[0].seed_salt
+            ),
+            ("2T_06", "L", 512 * 1024, 0)
+        );
+        assert_eq!(cases[1].seed_salt, 1);
+        assert_eq!(cases[2].l2_bytes, 2 * 1024 * 1024);
+        assert_eq!(cases[4].scheme.acronym(), "N");
+        assert_eq!(cases[8].workload, "gzip");
+        for (i, c) in cases.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn duplicate_axis_entries_dedupe() {
+        let mut spec = base_spec();
+        spec.schemes = vec!["L".into(), "M-0.75N".into(), "L".into(), "M-.75N".into()];
+        spec.seed_salts = Some(vec![4, 4, 4]);
+        let cases = spec.expand().unwrap();
+        assert_eq!(cases.len(), 2, "L and M-0.75N, each at salt 4");
+        assert_eq!(cases[0].scheme.acronym(), "L");
+        assert_eq!(cases[1].scheme.acronym(), "M-0.75N");
+    }
+
+    #[test]
+    fn unknown_names_error_cleanly() {
+        let mut spec = base_spec();
+        spec.workloads = vec![WorkloadSel::Named("9T_99".into())];
+        assert!(spec.expand().unwrap_err().to_string().contains("9T_99"));
+
+        let mut spec = base_spec();
+        spec.workloads = vec![WorkloadSel::Profiles(vec!["nonesuch".into()])];
+        assert!(spec.expand().unwrap_err().to_string().contains("nonesuch"));
+
+        let mut spec = base_spec();
+        spec.schemes = vec!["Q".into()];
+        assert!(spec.expand().unwrap_err().to_string().contains("`Q`"));
+    }
+
+    #[test]
+    fn empty_axes_error() {
+        let mut spec = base_spec();
+        spec.schemes = vec![];
+        assert!(spec.expand().is_err());
+        let mut spec = base_spec();
+        spec.seed_salts = Some(vec![]);
+        assert!(spec.expand().is_err());
+    }
+
+    #[test]
+    fn bt_rejects_non_power_of_two_assoc() {
+        let mut spec = base_spec();
+        spec.schemes = vec!["BT".into()];
+        // 128 B x 12 ways x 1024 sets: a valid geometry, but BT's tree
+        // needs a power-of-two way count.
+        spec.l2_sizes = Some(vec![128 * 12 * 1024]);
+        spec.l2_assocs = Some(vec![12]);
+        let err = spec.expand().unwrap_err().to_string();
+        assert!(err.contains("BT"), "{err}");
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected_whole() {
+        let mut spec = base_spec();
+        spec.l2_assocs = Some(vec![12]); // 2 MB is not divisible by 128 x 12
+        let err = spec.expand().unwrap_err().to_string();
+        assert!(err.contains("invalid L2 shape"), "{err}");
+    }
+
+    #[test]
+    fn interval_override_reaches_cpa_schemes_only() {
+        let mut spec = base_spec();
+        spec.schemes = vec!["M-L".into(), "L".into()];
+        spec.interval_cycles = Some(250_000);
+        let cases = spec.expand().unwrap();
+        match &cases[0].scheme {
+            SchemeKind::Cpa(c) => assert_eq!(c.interval_cycles, 250_000),
+            other => panic!("expected CPA, got {other:?}"),
+        }
+        assert_eq!(cases[1].scheme, SchemeKind::Policy(PolicyKind::Lru));
+    }
+
+    #[test]
+    fn case_engine_carries_the_case_shape() {
+        let mut spec = base_spec();
+        spec.l2_sizes = Some(vec![512 * 1024]);
+        spec.seed_salts = Some(vec![3]);
+        spec.schemes = vec!["M-BT".into()];
+        let cases = spec.expand().unwrap();
+        let engine = cases[0].engine(Arc::new(IsolationCache::new()));
+        assert_eq!(engine.config().l2.size_bytes(), 512 * 1024);
+        assert_eq!(engine.policy(), PolicyKind::Bt);
+        assert_eq!(engine.cpa().unwrap().acronym(), "M-BT");
+    }
+}

@@ -1,0 +1,358 @@
+//! Case execution: a crossbeam work-stealing pool over expanded cases.
+//!
+//! Sweeps replace the flat `parallel_map` fan-out: cases are distributed
+//! round-robin onto per-worker deques, and a worker that drains its own
+//! queue steals from its siblings, so wildly uneven case costs (an
+//! 8-thread CPA run next to a 1-core baseline) still balance. Results
+//! land in slots indexed by `ScenarioCase::index`, which makes the report
+//! order — and its bytes — independent of the worker count; the
+//! thread-count-invariance test pins exactly that.
+
+use crate::engine::IsolationCache;
+use crate::scenario::expand::{ScenarioCase, ScenarioError};
+use crate::scenario::report::{CaseReport, MissCurve, MissCurveReport, SweepReport};
+use crate::scenario::spec::{MissCurveSpec, ScenarioSpec};
+use cmpsim::WorkloadMetrics;
+use crossbeam::deque::{Steal, Stealer, Worker};
+use std::sync::{Arc, Mutex};
+
+/// Executes the cases of a [`ScenarioSpec`] and collects a
+/// [`SweepReport`] in spec order.
+///
+/// ```
+/// use plru_repro::prelude::*;
+///
+/// let spec = ScenarioSpec::from_json(
+///     r#"{
+///         "name": "doc-run",
+///         "insts": 20000,
+///         "workloads": [["gzip", "eon"]],
+///         "schemes": ["M-0.75N"]
+///     }"#,
+/// )
+/// .unwrap();
+/// let report = SweepRunner::new().run(&spec).expect("valid spec");
+/// assert_eq!(report.cases.len(), 1);
+/// assert!(report.cases[0].metrics.throughput > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepRunner {
+    threads: usize,
+    isolation: Arc<IsolationCache>,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner sized to the hardware (one worker per available thread).
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Self::with_threads(threads)
+    }
+
+    /// A runner with an explicit worker count (≥ 1).
+    pub fn with_threads(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+            isolation: Arc::default(),
+        }
+    }
+
+    /// Share an isolation-IPC memo with other runners/engines.
+    pub fn isolation(mut self, cache: Arc<IsolationCache>) -> Self {
+        self.isolation = cache;
+        self
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The shared isolation memo.
+    pub fn isolation_cache(&self) -> &Arc<IsolationCache> {
+        &self.isolation
+    }
+
+    /// Expand a spec and run every case.
+    pub fn run(&self, spec: &ScenarioSpec) -> Result<SweepReport, ScenarioError> {
+        let cases = spec.expand()?;
+        Ok(SweepReport {
+            spec: spec.clone(),
+            cases: self.run_cases(&cases),
+        })
+    }
+
+    /// Run pre-expanded cases, returning reports ordered by case index.
+    pub fn run_cases(&self, cases: &[ScenarioCase]) -> Vec<CaseReport> {
+        if cases.is_empty() {
+            return Vec::new();
+        }
+        let workers: usize = self.threads.min(cases.len());
+        let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        for i in 0..cases.len() {
+            locals[i % workers].push(i);
+        }
+        let stealers: Vec<Stealer<usize>> = locals.iter().map(|w| w.stealer()).collect();
+        let slots: Vec<Mutex<Option<CaseReport>>> =
+            (0..cases.len()).map(|_| Mutex::new(None)).collect();
+
+        crossbeam::scope(|scope| {
+            for (wi, local) in locals.iter().enumerate() {
+                let stealers = &stealers;
+                let slots = &slots;
+                let isolation = &self.isolation;
+                scope.spawn(move |_| {
+                    while let Some(i) = next_task(local, wi, stealers) {
+                        let report = run_case(&cases[i], isolation.clone());
+                        *slots[i].lock().unwrap() = Some(report);
+                    }
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+
+        slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("every case ran"))
+            .collect()
+    }
+}
+
+/// Pop locally, then steal from siblings; `None` once every queue drains.
+/// Tasks are never re-queued, so an all-empty pass means the sweep is done.
+fn next_task(local: &Worker<usize>, wi: usize, stealers: &[Stealer<usize>]) -> Option<usize> {
+    if let Some(i) = local.pop() {
+        return Some(i);
+    }
+    loop {
+        let mut retry = false;
+        for (si, stealer) in stealers.iter().enumerate() {
+            if si == wi {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(i) => return Some(i),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+/// Run one case to completion: simulate, compute the paper's metrics
+/// against the matching (salted) isolation runs, optionally capture the
+/// controller's allocation history.
+fn run_case(case: &ScenarioCase, isolation: Arc<IsolationCache>) -> CaseReport {
+    let engine = case.engine(isolation);
+    let workload = case.to_workload();
+    // One execution path whether or not history is wanted: `engine.run`
+    // is exactly `system(..).run()`, and keeping the system around is
+    // what lets the controller be read back afterwards.
+    let mut sys = engine.system(&workload);
+    let result = sys.run();
+    let allocation_history = if case.capture_history {
+        sys.controller().map(|c| c.history().to_vec())
+    } else {
+        None
+    };
+    let isolation_ipcs = engine.isolation_ipcs(&workload.benchmarks);
+    let metrics = WorkloadMetrics::compute(&result.ipcs(), &isolation_ipcs);
+    CaseReport {
+        scheme: case.scheme.acronym(),
+        case: case.clone(),
+        metrics,
+        isolation_ipcs,
+        result,
+        allocation_history,
+    }
+}
+
+/// Run a [`MissCurveSpec`]: generate the benchmark's trace, filter it
+/// through a private L1D exactly as the CMP does, and feed the surviving
+/// L2 stream to every requested profiler.
+pub fn run_miss_curves(spec: &MissCurveSpec) -> Result<MissCurveReport, ScenarioError> {
+    use cachesim::{Cache, CacheConfig, PolicyKind};
+    use plru_core::profiler::{BtProfiler, LruProfiler, NruProfiler};
+    use plru_core::{NruUpdateMode, Profiler};
+    use tracegen::TraceGenerator;
+
+    let profile = tracegen::benchmark(&spec.benchmark)
+        .ok_or_else(|| ScenarioError::new(format!("unknown benchmark `{}`", spec.benchmark)))?;
+    if spec.profilers.is_empty() {
+        return Err(ScenarioError::new(
+            "axis `profilers` must list at least one value",
+        ));
+    }
+
+    enum Prof {
+        Lru(LruProfiler),
+        Nru(NruProfiler),
+        Bt(BtProfiler),
+    }
+    let baseline = cmpsim::MachineConfig::paper_baseline(1);
+    let geom = baseline.l2;
+    // Full (unsampled) ATDs so the curves are smooth in a short run.
+    let mut profilers: Vec<(String, Prof)> = Vec::new();
+    for p in &spec.profilers {
+        let (label, prof) = match p.as_str() {
+            "L" => (
+                "SDH (LRU)".to_string(),
+                Prof::Lru(LruProfiler::new(geom, 1)),
+            ),
+            "BT" => ("eSDH BT".to_string(), Prof::Bt(BtProfiler::new(geom, 1))),
+            nru if nru.ends_with('N') => {
+                let scale: f64 = nru[..nru.len() - 1].parse().map_err(|_| {
+                    ScenarioError::new(format!("bad NRU profiler scale in `{nru}`"))
+                })?;
+                if !(scale > 0.0 && scale <= 1.0) {
+                    return Err(ScenarioError::new(format!(
+                        "NRU profiler scale {scale} outside (0, 1]"
+                    )));
+                }
+                (
+                    format!("eSDH {nru}"),
+                    Prof::Nru(NruProfiler::new(geom, 1, scale, NruUpdateMode::Scaled)),
+                )
+            }
+            other => {
+                return Err(ScenarioError::new(format!(
+                    "unknown profiler `{other}` (expected L, BT or a scale like 0.75N)"
+                )))
+            }
+        };
+        profilers.push((label, prof));
+    }
+
+    let mut l1 = Cache::new(CacheConfig {
+        geometry: baseline.l1d,
+        policy: PolicyKind::Lru,
+        num_cores: 1,
+        seed: 0,
+    });
+    let records = spec.records.unwrap_or(400_000);
+    let benchmark = profile.name.clone();
+    let mut gen = TraceGenerator::new(profile, spec.trace_seed.unwrap_or(42));
+    let mut l2_accesses = 0u64;
+    for _ in 0..records {
+        let rec = gen.next_record();
+        if !l1.access(0, rec.addr, rec.is_write).hit {
+            l2_accesses += 1;
+            for (_, prof) in &mut profilers {
+                match prof {
+                    Prof::Lru(p) => p.observe(rec.addr),
+                    Prof::Nru(p) => p.observe(rec.addr),
+                    Prof::Bt(p) => p.observe(rec.addr),
+                }
+            }
+        }
+    }
+
+    let curves = profilers
+        .into_iter()
+        .map(|(label, prof)| MissCurve {
+            label,
+            misses: match prof {
+                Prof::Lru(p) => p.sdh().miss_curve(),
+                Prof::Nru(p) => p.sdh().miss_curve(),
+                Prof::Bt(p) => p.sdh().miss_curve(),
+            },
+        })
+        .collect();
+    Ok(MissCurveReport {
+        benchmark,
+        records,
+        l2_accesses,
+        curves,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::spec::WorkloadSel;
+
+    fn tiny_spec() -> ScenarioSpec {
+        ScenarioSpec {
+            name: "runner-t".into(),
+            insts: Some(15_000),
+            workloads: vec![
+                WorkloadSel::Named("2T_06".into()),
+                WorkloadSel::Profiles(vec!["gzip".into(), "eon".into()]),
+            ],
+            schemes: vec!["L".into(), "M-0.75N".into()],
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn report_order_matches_expansion_order() {
+        let spec = tiny_spec();
+        let cases = spec.expand().unwrap();
+        let report = SweepRunner::with_threads(3).run(&spec).unwrap();
+        assert_eq!(report.cases.len(), cases.len());
+        for (i, c) in report.cases.iter().enumerate() {
+            assert_eq!(c.case.index, i);
+            assert_eq!(c.case, cases[i]);
+            assert!(c.metrics.throughput > 0.0);
+        }
+    }
+
+    #[test]
+    fn history_is_captured_only_when_asked() {
+        let mut spec = tiny_spec();
+        spec.workloads.truncate(1);
+        spec.capture_history = Some(true);
+        let report = SweepRunner::with_threads(1).run(&spec).unwrap();
+        assert!(
+            report.cases[0].allocation_history.is_none(),
+            "no CPA, no history"
+        );
+        let with_cpa = &report.cases[1];
+        let history = with_cpa.allocation_history.as_ref().expect("CPA history");
+        assert_eq!(history.len() as u64, with_cpa.result.intervals);
+    }
+
+    #[test]
+    fn invalid_spec_surfaces_the_expansion_error() {
+        let mut spec = tiny_spec();
+        spec.schemes = vec!["Q".into()];
+        assert!(SweepRunner::new().run(&spec).is_err());
+    }
+
+    #[test]
+    fn miss_curves_run_and_are_monotone_at_zero() {
+        let spec = MissCurveSpec {
+            name: "mc-t".into(),
+            benchmark: "twolf".into(),
+            records: Some(30_000),
+            trace_seed: None,
+            profilers: vec!["L".into(), "0.75N".into(), "BT".into()],
+        };
+        let report = run_miss_curves(&spec).unwrap();
+        assert_eq!(report.curves.len(), 3);
+        assert_eq!(report.curves[0].label, "SDH (LRU)");
+        for curve in &report.curves {
+            assert_eq!(curve.misses.len(), 17, "0..=16 ways");
+            assert_eq!(
+                curve.misses[0], report.l2_accesses,
+                "0 ways miss everything"
+            );
+        }
+        assert!(run_miss_curves(&MissCurveSpec {
+            benchmark: "nonesuch".into(),
+            profilers: vec!["L".into()],
+            ..spec
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,235 @@
+//! Serde-backed sweep specifications.
+//!
+//! A [`ScenarioSpec`] declares the axes of a cartesian sweep; expansion
+//! into concrete cases lives in [`super::expand`]. Every axis except
+//! `workloads` and `schemes` is optional and falls back to the paper
+//! baseline, so the smallest useful spec is a workload list and a scheme
+//! list. The JSON schema is deliberately flat:
+//!
+//! ```json
+//! {
+//!   "name": "smoke-2t",
+//!   "insts": 20000,
+//!   "workloads": ["2T_06", ["galgel", "eon"]],
+//!   "schemes": ["L", "M-0.75N"],
+//!   "l2_sizes": [524288, 2097152],
+//!   "seed_salts": [0, 1]
+//! }
+//! ```
+
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+
+/// One entry of the workload axis: a Table II name (`"2T_05"`) or an
+/// explicit benchmark mix, one per core (`["galgel", "eon"]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadSel {
+    /// A Table II workload by name.
+    Named(String),
+    /// An ad-hoc mix of benchmark names, one per core.
+    Profiles(Vec<String>),
+}
+
+impl WorkloadSel {
+    /// The display name expansion gives the selection (`"2T_05"` or
+    /// `"galgel+eon"`).
+    pub fn display_name(&self) -> String {
+        match self {
+            WorkloadSel::Named(n) => n.clone(),
+            WorkloadSel::Profiles(bs) => bs.join("+"),
+        }
+    }
+}
+
+// Manual serde impls: the stub derive has no `untagged` support, and the
+// JSON shape (string vs array) is the whole point of the enum.
+impl Serialize for WorkloadSel {
+    fn to_value(&self) -> Value {
+        match self {
+            WorkloadSel::Named(n) => Value::Str(n.clone()),
+            WorkloadSel::Profiles(bs) => {
+                Value::Array(bs.iter().map(|b| Value::Str(b.clone())).collect())
+            }
+        }
+    }
+}
+
+impl Deserialize for WorkloadSel {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        match v {
+            Value::Str(s) => Ok(WorkloadSel::Named(s.clone())),
+            Value::Array(_) => Vec::<String>::from_value(v).map(WorkloadSel::Profiles),
+            other => Err(SerdeError::new(format!(
+                "workload must be a name or a benchmark list, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+/// A declarative cartesian sweep over simulation cases.
+///
+/// Expansion order is fixed and documented: `workloads` (outermost) ×
+/// `schemes` × `l2_sizes` × `l2_assocs` × `seed_salts` (innermost), with
+/// duplicate axis entries removed (first occurrence wins). See
+/// [`ScenarioSpec::expand`](crate::scenario::expand) for the rules.
+///
+/// ```
+/// use plru_repro::prelude::*;
+///
+/// let spec = ScenarioSpec::from_json(
+///     r#"{
+///         "name": "doc",
+///         "insts": 20000,
+///         "workloads": ["2T_06", ["gzip", "eon"]],
+///         "schemes": ["L", "M-0.75N", "L"],
+///         "seed_salts": [0, 1]
+///     }"#,
+/// )
+/// .unwrap();
+/// let cases = spec.expand().unwrap();
+/// // 2 workloads x 2 schemes (the duplicate "L" dedupes) x 2 salts.
+/// assert_eq!(cases.len(), 8);
+/// assert_eq!(cases[0].workload, "2T_06");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Spec identifier (echoed into reports and golden files).
+    pub name: String,
+    /// Optional human description.
+    pub description: Option<String>,
+    /// Committed instructions per thread (default: the paper baseline's
+    /// target).
+    pub insts: Option<u64>,
+    /// Base RNG seed (default: the paper baseline's seed).
+    pub seed: Option<u64>,
+    /// Repartition interval override in cycles, applied to every CPA
+    /// scheme of the sweep (default: each configuration's own interval).
+    pub interval_cycles: Option<u64>,
+    /// Record the controller's per-interval allocation history in each
+    /// case report (default: off; only meaningful for CPA schemes).
+    pub capture_history: Option<bool>,
+    /// Workload axis: Table II names and/or explicit benchmark mixes.
+    pub workloads: Vec<WorkloadSel>,
+    /// Scheme axis: bare replacement policies (`"L"`, `"N"`, `"BT"`,
+    /// `"R"`) run unpartitioned; CPA acronyms (`"C-L"`, `"M-L"`,
+    /// `"M-0.75N"`, `"M-BT"`, ...) run under the dynamic controller.
+    pub schemes: Vec<String>,
+    /// Shared-L2 capacity axis in bytes (default: the baseline 2 MB).
+    pub l2_sizes: Option<Vec<u64>>,
+    /// Shared-L2 associativity axis (default: the baseline 16 ways).
+    pub l2_assocs: Option<Vec<usize>>,
+    /// Seed-salt axis perturbing per-core trace seeds (default: `[0]`).
+    pub seed_salts: Option<Vec<u64>>,
+}
+
+impl ScenarioSpec {
+    /// Parse a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, SerdeError> {
+        serde_json::from_str(text)
+    }
+
+    /// Render the spec as pretty JSON (the format shipped under
+    /// `scenarios/`).
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("specs always serialize")
+    }
+}
+
+/// A declarative miss-curve comparison: feed one benchmark's L1-filtered
+/// L2 access stream to the exact LRU profiler and the estimated-SDH
+/// profilers side by side (the paper's core idea, Section III).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MissCurveSpec {
+    /// Spec identifier.
+    pub name: String,
+    /// Benchmark whose access stream is profiled.
+    pub benchmark: String,
+    /// Trace records to generate (default 400 000).
+    pub records: Option<u64>,
+    /// Trace generator seed (default 42).
+    pub trace_seed: Option<u64>,
+    /// Profilers to compare: `"L"` (exact SDH), `"<scale>N"` (NRU eSDH at
+    /// a scaling factor, e.g. `"0.75N"`), `"BT"` (binary-tree eSDH).
+    pub profilers: Vec<String>,
+}
+
+impl MissCurveSpec {
+    /// Parse a spec from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, SerdeError> {
+        serde_json::from_str(text)
+    }
+
+    /// Render the spec as pretty JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("specs always serialize")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_sel_round_trips_both_shapes() {
+        let named = WorkloadSel::Named("2T_05".into());
+        let mix = WorkloadSel::Profiles(vec!["galgel".into(), "eon".into()]);
+        for sel in [&named, &mix] {
+            let json = serde_json::to_string(sel).unwrap();
+            assert_eq!(&serde_json::from_str::<WorkloadSel>(&json).unwrap(), sel);
+        }
+        assert_eq!(named.display_name(), "2T_05");
+        assert_eq!(mix.display_name(), "galgel+eon");
+    }
+
+    #[test]
+    fn workload_sel_rejects_non_string_non_array() {
+        assert!(serde_json::from_str::<WorkloadSel>("42").is_err());
+        assert!(serde_json::from_str::<WorkloadSel>("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = ScenarioSpec {
+            name: "rt".into(),
+            description: Some("round trip".into()),
+            insts: Some(50_000),
+            seed: Some(7),
+            interval_cycles: Some(250_000),
+            capture_history: Some(true),
+            workloads: vec![
+                WorkloadSel::Named("2T_05".into()),
+                WorkloadSel::Profiles(vec!["gzip".into()]),
+            ],
+            schemes: vec!["L".into(), "M-BT".into()],
+            l2_sizes: Some(vec![512 * 1024]),
+            l2_assocs: Some(vec![8, 16]),
+            seed_salts: Some(vec![0, 3]),
+        };
+        let json = spec.to_json_pretty();
+        assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
+    }
+
+    #[test]
+    fn missing_optional_fields_parse_as_none() {
+        let spec =
+            ScenarioSpec::from_json(r#"{"name": "min", "workloads": ["2T_01"], "schemes": ["L"]}"#)
+                .unwrap();
+        assert_eq!(spec.insts, None);
+        assert_eq!(spec.l2_sizes, None);
+        assert_eq!(spec.seed_salts, None);
+        assert_eq!(spec.capture_history, None);
+    }
+
+    #[test]
+    fn miss_curve_spec_round_trips() {
+        let spec = MissCurveSpec {
+            name: "mc".into(),
+            benchmark: "twolf".into(),
+            records: Some(1000),
+            trace_seed: None,
+            profilers: vec!["L".into(), "0.75N".into(), "BT".into()],
+        };
+        let json = spec.to_json_pretty();
+        assert_eq!(MissCurveSpec::from_json(&json).unwrap(), spec);
+    }
+}

@@ -1,0 +1,104 @@
+//! Golden-snapshot tests: run the small shipped specs and compare the
+//! full `SweepReport` JSON — spec echo, every case, every metric, every
+//! per-core counter — byte for byte against the committed goldens under
+//! `tests/goldens/`. Any behavioural drift in the tracegen → cmpsim →
+//! controller pipeline, the metric definitions, the isolation-cache
+//! keying or the report schema fails these tests.
+//!
+//! To regenerate the goldens after an *intentional* change:
+//!
+//! ```sh
+//! UPDATE_GOLDENS=1 cargo test --test scenario_goldens
+//! ```
+//!
+//! then review the diff of `tests/goldens/*.json` like any other code
+//! change.
+
+use plru_repro::prelude::*;
+
+fn repo_path(rel: &str) -> String {
+    format!("{}/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Run a shipped spec and compare (or regenerate) its golden report.
+fn golden_check(spec_file: &str, golden_file: &str) {
+    let spec_path = repo_path(&format!("scenarios/{spec_file}"));
+    let text =
+        std::fs::read_to_string(&spec_path).unwrap_or_else(|e| panic!("reading {spec_path}: {e}"));
+    let spec = ScenarioSpec::from_json(&text).expect("shipped spec parses");
+    // Two workers: exercises the pool without depending on host core
+    // count (the report bytes are thread-count invariant anyway — see
+    // tests/scenario_properties.rs).
+    let report = SweepRunner::with_threads(2)
+        .run(&spec)
+        .expect("spec expands");
+    let actual = report.to_json_pretty() + "\n";
+
+    let golden_path = repo_path(&format!("tests/goldens/{golden_file}"));
+    if std::env::var("UPDATE_GOLDENS").as_deref() == Ok("1") {
+        std::fs::write(&golden_path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("reading {golden_path}: {e}; regenerate with UPDATE_GOLDENS=1"));
+    if actual != expected {
+        let diff = first_difference(&expected, &actual);
+        panic!(
+            "sweep report for {spec_file} drifted from {golden_file}:\n{diff}\n\
+             if the change is intentional, regenerate with\n\
+             UPDATE_GOLDENS=1 cargo test --test scenario_goldens"
+        );
+    }
+}
+
+/// First differing line of two texts, with one line of context.
+fn first_difference(expected: &str, actual: &str) -> String {
+    let (e_lines, a_lines): (Vec<&str>, Vec<&str>) =
+        (expected.lines().collect(), actual.lines().collect());
+    for i in 0..e_lines.len().max(a_lines.len()) {
+        let e = e_lines.get(i).copied();
+        let a = a_lines.get(i).copied();
+        if e != a {
+            return format!(
+                "first difference at line {}:\n  golden: {}\n  actual: {}",
+                i + 1,
+                e.unwrap_or("<eof>"),
+                a.unwrap_or("<eof>"),
+            );
+        }
+    }
+    "texts differ only in trailing whitespace".to_string()
+}
+
+#[test]
+fn smoke_2t_report_matches_golden() {
+    golden_check("smoke_2t.json", "smoke_2t.report.json");
+}
+
+#[test]
+fn smoke_seeds_report_matches_golden() {
+    golden_check("smoke_seeds.json", "smoke_seeds.report.json");
+}
+
+/// The seed-salt axis must produce genuinely different simulations — the
+/// regression the salted isolation-cache key fixed. Pinned here next to
+/// the golden so drift in either direction is loud.
+#[test]
+fn smoke_seeds_salts_really_differ() {
+    let text = std::fs::read_to_string(repo_path("scenarios/smoke_seeds.json")).unwrap();
+    let spec = ScenarioSpec::from_json(&text).unwrap();
+    let report = SweepRunner::with_threads(2).run(&spec).unwrap();
+    let salt0 = &report.cases[0];
+    let salt1 = &report.cases[1];
+    assert_eq!(salt0.case.seed_salt, 0);
+    assert_eq!(salt1.case.seed_salt, 1);
+    assert_ne!(
+        salt0.result.ipcs(),
+        salt1.result.ipcs(),
+        "salting must perturb the traces"
+    );
+    assert_ne!(
+        salt0.isolation_ipcs, salt1.isolation_ipcs,
+        "isolation runs must be salted too, not aliased through the memo"
+    );
+}

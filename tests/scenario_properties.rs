@@ -1,0 +1,135 @@
+//! Property tests for the scenario subsystem's expansion and execution
+//! contracts:
+//!
+//! * expansion is deterministic and its indices are contiguous;
+//! * the case count equals the product of the (deduplicated) axis
+//!   lengths;
+//! * duplicate axis values dedupe to the first occurrence;
+//! * `SweepRunner` output is bit-identical regardless of worker count.
+
+use plru_repro::prelude::*;
+use proptest::prelude::*;
+
+/// Small pools the generated axes draw from, duplicates welcome.
+fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
+    let workloads = prop::collection::vec(
+        prop::sample::select(vec![
+            WorkloadSel::Named("2T_06".into()),
+            WorkloadSel::Named("2T_21".into()),
+            WorkloadSel::Named("4T_13".into()),
+            WorkloadSel::Profiles(vec!["gzip".into()]),
+            WorkloadSel::Profiles(vec!["gzip".into(), "eon".into()]),
+        ]),
+        1..4,
+    );
+    let schemes = prop::collection::vec(
+        prop::sample::select(vec![
+            "L".to_string(),
+            "N".to_string(),
+            "BT".to_string(),
+            "C-L".to_string(),
+            "M-L".to_string(),
+            "M-0.75N".to_string(),
+            "M-BT".to_string(),
+        ]),
+        1..4,
+    );
+    let sizes = prop::collection::vec(
+        prop::sample::select(vec![512 * 1024u64, 1024 * 1024, 2 * 1024 * 1024]),
+        1..3,
+    );
+    let assocs = prop::collection::vec(prop::sample::select(vec![8usize, 16]), 1..3);
+    let salts = prop::collection::vec(prop::sample::select(vec![0u64, 1, 2]), 1..3);
+    (workloads, schemes, sizes, assocs, salts).prop_map(
+        |(workloads, schemes, sizes, assocs, salts)| ScenarioSpec {
+            name: "prop".into(),
+            insts: Some(10_000),
+            workloads,
+            schemes,
+            l2_sizes: Some(sizes),
+            l2_assocs: Some(assocs),
+            seed_salts: Some(salts),
+            ..Default::default()
+        },
+    )
+}
+
+/// Distinct values of an axis, in first-occurrence order — the dedup rule
+/// expansion promises.
+fn unique<T: PartialEq + Clone>(xs: &[T]) -> Vec<T> {
+    let mut out: Vec<T> = Vec::new();
+    for x in xs {
+        if !out.contains(x) {
+            out.push(x.clone());
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn expansion_is_deterministic(spec in arb_spec()) {
+        let a = spec.expand().unwrap();
+        let b = spec.expand().unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn case_count_is_the_product_of_deduped_axis_lengths(spec in arb_spec()) {
+        let cases = spec.expand().unwrap();
+        let scheme_acronyms: Vec<String> = spec
+            .schemes
+            .iter()
+            .map(|s| SchemeKind::parse(s, None).unwrap().acronym())
+            .collect();
+        let expect = unique(&spec.workloads).len()
+            * unique(&scheme_acronyms).len()
+            * unique(spec.l2_sizes.as_deref().unwrap()).len()
+            * unique(spec.l2_assocs.as_deref().unwrap()).len()
+            * unique(spec.seed_salts.as_deref().unwrap()).len();
+        prop_assert_eq!(cases.len(), expect);
+        for (i, c) in cases.iter().enumerate() {
+            prop_assert_eq!(c.index, i, "indices must be contiguous expansion positions");
+        }
+    }
+
+    #[test]
+    fn duplicated_axes_expand_identically(spec in arb_spec()) {
+        let mut doubled = spec.clone();
+        doubled.workloads.extend(spec.workloads.clone());
+        doubled.schemes.extend(spec.schemes.clone());
+        let mut salts = doubled.seed_salts.take().unwrap();
+        salts.extend(salts.clone());
+        doubled.seed_salts = Some(salts);
+        prop_assert_eq!(doubled.expand().unwrap(), spec.expand().unwrap());
+    }
+}
+
+/// The full report — metrics, isolation IPCs, per-core counters, JSON
+/// bytes — must not depend on how many workers executed the sweep.
+#[test]
+fn sweep_reports_are_thread_count_invariant() {
+    let spec = ScenarioSpec {
+        name: "threads".into(),
+        insts: Some(15_000),
+        workloads: vec![
+            WorkloadSel::Named("2T_06".into()),
+            WorkloadSel::Profiles(vec!["gzip".into(), "eon".into()]),
+        ],
+        schemes: vec!["L".into(), "M-0.75N".into()],
+        seed_salts: Some(vec![0, 1]),
+        ..Default::default()
+    };
+    let single = SweepRunner::with_threads(1).run(&spec).unwrap();
+    let expect = single.to_json_pretty();
+    for threads in [2usize, 5, 16] {
+        let multi = SweepRunner::with_threads(threads).run(&spec).unwrap();
+        assert_eq!(
+            multi.to_json_pretty(),
+            expect,
+            "report bytes changed between 1 and {threads} workers"
+        );
+    }
+}

@@ -1,10 +1,173 @@
 //! Offline stand-in for `crossbeam`, providing the `scope` API on top of
-//! `std::thread::scope` (stable since 1.63). Only the surface this
-//! workspace uses is provided: `crossbeam::scope(|s| { s.spawn(|_| ...); })`
-//! returning `Result` with `Err` when any worker panicked.
+//! `std::thread::scope` (stable since 1.63) and the `deque` work-stealing
+//! queues. Only the surface this workspace uses is provided:
+//! `crossbeam::scope(|s| { s.spawn(|_| ...); })` returning `Result` with
+//! `Err` when any worker panicked, and `deque::{Worker, Stealer, Injector,
+//! Steal}` with crossbeam-deque's API on a mutexed `VecDeque` (correct and
+//! plenty fast at whole-simulation task granularity).
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod deque {
+    //! Work-stealing double-ended queues, API-compatible with
+    //! `crossbeam-deque`: each worker owns a [`Worker`] it pushes/pops
+    //! locally, hands out [`Stealer`]s to its siblings, and an optional
+    //! shared [`Injector`] holds globally submitted tasks.
+
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// A task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// Did the attempt observe an empty queue?
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    #[derive(Debug)]
+    enum Flavor {
+        Fifo,
+        Lifo,
+    }
+
+    /// The owner's end of a work-stealing queue.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+        flavor: Flavor,
+    }
+
+    impl<T> Worker<T> {
+        /// A FIFO worker: `pop` takes the oldest local task.
+        pub fn new_fifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Fifo,
+            }
+        }
+
+        /// A LIFO worker: `pop` takes the newest local task.
+        pub fn new_lifo() -> Self {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+                flavor: Flavor::Lifo,
+            }
+        }
+
+        /// Push a task onto the local queue.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Pop a task from the local queue.
+        pub fn pop(&self) -> Option<T> {
+            let mut q = self.queue.lock().unwrap();
+            match self.flavor {
+                Flavor::Fifo => q.pop_front(),
+                Flavor::Lifo => q.pop_back(),
+            }
+        }
+
+        /// A stealer handle for sibling workers.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+
+        /// Is the local queue empty right now?
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+
+        /// Number of queued tasks right now.
+        pub fn len(&self) -> usize {
+            self.queue.lock().unwrap().len()
+        }
+    }
+
+    /// A sibling's handle onto a [`Worker`]'s queue.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the opposite end the owner pops from.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Is the observed queue empty right now?
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+
+    /// A shared FIFO queue for globally submitted tasks.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Submit a task.
+        pub fn push(&self, task: T) {
+            self.queue.lock().unwrap().push_back(task);
+        }
+
+        /// Steal one submitted task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Is the injector empty right now?
+        pub fn is_empty(&self) -> bool {
+            self.queue.lock().unwrap().is_empty()
+        }
+    }
+}
 
 /// Scope handle passed to the closure and to every spawned worker.
 pub struct Scope<'scope, 'env: 'scope> {
@@ -57,6 +220,63 @@ mod tests {
             s.spawn(|_| panic!("boom"));
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn fifo_worker_pops_in_push_order() {
+        let w = super::deque::Worker::new_fifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn lifo_worker_pops_newest_first() {
+        let w = super::deque::Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(1));
+    }
+
+    #[test]
+    fn stealers_drain_a_worker_exactly_once() {
+        use super::deque::{Steal, Worker};
+        let w = Worker::new_fifo();
+        for i in 0..100 {
+            w.push(i);
+        }
+        let stealers: Vec<_> = (0..4).map(|_| w.stealer()).collect();
+        let seen = std::sync::Mutex::new(Vec::new());
+        super::scope(|s| {
+            for st in &stealers {
+                s.spawn(|_| loop {
+                    match st.steal() {
+                        Steal::Success(t) => seen.lock().unwrap().push(t),
+                        Steal::Empty => break,
+                        Steal::Retry => continue,
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let mut seen = seen.into_inner().unwrap();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        assert!(w.stealer().steal().is_empty());
+    }
+
+    #[test]
+    fn injector_hands_out_submitted_tasks() {
+        let inj = super::deque::Injector::new();
+        assert!(inj.is_empty());
+        inj.push(7u64);
+        assert_eq!(inj.steal().success(), Some(7));
+        assert!(inj.steal().is_empty());
     }
 
     #[test]
