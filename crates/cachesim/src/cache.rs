@@ -460,6 +460,26 @@ impl Cache {
     /// [`Cache::access`] in a loop over the same slice; the batch amortizes
     /// the policy dispatch, bounds checks and outcome plumbing instead of
     /// changing semantics.
+    ///
+    /// ```
+    /// use cachesim::{Access, BatchStats, Cache, CacheConfig, CacheGeometry, PolicyKind};
+    ///
+    /// let mut l2 = Cache::new(CacheConfig {
+    ///     geometry: CacheGeometry::new(2 * 1024 * 1024, 16, 128).unwrap(),
+    ///     policy: PolicyKind::Nru,
+    ///     num_cores: 2,
+    ///     seed: 42,
+    /// });
+    /// // One trace chunk: core 0 reads, core 1 writes, disjoint lines.
+    /// let chunk: Vec<Access> = (0..256u64)
+    ///     .map(|i| Access::new((i % 2) as usize, i * 128, i % 2 == 1))
+    ///     .collect();
+    /// let mut batch = BatchStats::default();
+    /// l2.access_batch(&chunk, &mut batch);
+    /// assert_eq!(batch.accesses, 256);
+    /// assert_eq!(batch.misses, 256, "cold cache, distinct lines");
+    /// assert_eq!(l2.stats().core(0).accesses, 128);
+    /// ```
     pub fn access_batch(&mut self, accesses: &[Access], batch: &mut BatchStats) {
         let (policy, mut planes) = self.split();
         match policy {

@@ -6,7 +6,9 @@ use cachesim::hierarchy::{BatchScratch, Hierarchy, MemLevel};
 use cachesim::{CacheStats, PolicyKind};
 use plru_core::{CpaConfig, CpaController};
 use serde::{Deserialize, Serialize};
-use tracegen::{BenchmarkProfile, Workload};
+use std::path::Path;
+use tracegen::trace::{self, TraceError};
+use tracegen::{BenchmarkProfile, TraceGenerator, TraceSource, Workload};
 
 /// Per-core outcome of a simulation.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -75,7 +77,16 @@ pub struct System {
 }
 
 impl System {
-    /// Build a system running one benchmark per core.
+    /// Trace seed of one core's live generator: the configuration's
+    /// per-core seed perturbed by the salt. One definition shared by the
+    /// live path and trace capture, so a recorded run replays the very
+    /// stream a live run would synthesize.
+    pub fn thread_seed(cfg: &MachineConfig, core: usize, seed_salt: u64) -> u64 {
+        cfg.trace_seed(core) ^ seed_salt.rotate_left(core as u32)
+    }
+
+    /// Build a system running one benchmark per core from live trace
+    /// generators.
     ///
     /// `seed_salt` perturbs the per-core trace seeds so repeated instances
     /// of the same benchmark (e.g. facerec twice in `8T_04`) diverge.
@@ -86,7 +97,33 @@ impl System {
         cpa: Option<CpaConfig>,
         seed_salt: u64,
     ) -> Self {
+        let sources: Vec<Box<dyn TraceSource>> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Box::new(TraceGenerator::new(
+                    p.clone(),
+                    Self::thread_seed(cfg, i, seed_salt),
+                )) as Box<dyn TraceSource>
+            })
+            .collect();
+        Self::from_sources(cfg, profiles, sources, l2_policy, cpa, seed_salt)
+    }
+
+    /// Build a system over explicit per-core [`TraceSource`]s — the
+    /// extension point behind live synthesis, trace capture and trace
+    /// replay. `profiles` supply only the per-core timing model; the
+    /// memory-access streams come from `sources`.
+    pub fn from_sources(
+        cfg: &MachineConfig,
+        profiles: &[BenchmarkProfile],
+        sources: Vec<Box<dyn TraceSource>>,
+        l2_policy: PolicyKind,
+        cpa: Option<CpaConfig>,
+        seed_salt: u64,
+    ) -> Self {
         assert_eq!(profiles.len(), cfg.num_cores, "one benchmark per core");
+        assert_eq!(sources.len(), cfg.num_cores, "one trace source per core");
         let mut hierarchy = Hierarchy::new(
             cfg.num_cores,
             cfg.l1i,
@@ -106,15 +143,9 @@ impl System {
         });
         let cores = profiles
             .iter()
+            .zip(sources)
             .enumerate()
-            .map(|(i, p)| {
-                CoreModel::new(
-                    i,
-                    p.clone(),
-                    cfg.trace_seed(i) ^ seed_salt.rotate_left(i as u32),
-                    cfg.insts_per_fetch_line,
-                )
-            })
+            .map(|(i, (p, source))| CoreModel::from_source(i, p, source, cfg.insts_per_fetch_line))
             .collect();
         let next_interval = controller
             .as_ref()
@@ -142,6 +173,51 @@ impl System {
         seed_salt: u64,
     ) -> Self {
         Self::from_profiles(cfg, &workload.profiles(), l2_policy, cpa, seed_salt)
+    }
+
+    /// Build a system replaying a recorded trace container (see
+    /// [`tracegen::trace`]): per-core streams come from the file, the
+    /// timing model from the profiles named in its metadata.
+    ///
+    /// Errors if the file is unreadable or malformed, if its thread count
+    /// differs from `cfg.num_cores`, or if a recorded benchmark name no
+    /// longer resolves. The caller is responsible for checking that the
+    /// replay's instruction target does not exceed the recorded one
+    /// ([`tracegen::trace::TraceMeta::insts`]) — an exhausted stream
+    /// panics mid-run.
+    pub fn from_trace(
+        cfg: &MachineConfig,
+        path: impl AsRef<Path>,
+        l2_policy: PolicyKind,
+        cpa: Option<CpaConfig>,
+        seed_salt: u64,
+    ) -> Result<Self, TraceError> {
+        let path = path.as_ref();
+        let (info, sources) = trace::open_sources(path)?;
+        if info.meta.threads() != cfg.num_cores {
+            return Err(TraceError::Format(format!(
+                "trace {} records {} threads, but the machine has {} cores",
+                path.display(),
+                info.meta.threads(),
+                cfg.num_cores
+            )));
+        }
+        let profiles: Vec<BenchmarkProfile> = info
+            .meta
+            .benchmarks
+            .iter()
+            .map(|b| {
+                tracegen::benchmark(b).ok_or_else(|| {
+                    TraceError::Format(format!(
+                        "trace {} names unknown benchmark `{b}`",
+                        path.display()
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(Self::from_sources(
+            cfg, &profiles, sources, l2_policy, cpa, seed_salt,
+        ))
     }
 
     fn penalty(&self, level: MemLevel) -> u64 {
@@ -360,6 +436,111 @@ mod tests {
         let r = sys.run();
         assert_eq!(r.cores.len(), 8);
         assert!(r.ipcs().iter().all(|&i| i > 0.0));
+    }
+
+    #[test]
+    fn recorded_trace_replays_bit_identical_to_live() {
+        use std::sync::{Arc, Mutex};
+        use tracegen::trace::{CapturingSource, TraceMeta, TraceWriter};
+
+        let cfg = quick_cfg(2);
+        let wl = workload("2T_02").unwrap(); // mcf + parser
+        let salt = 3u64;
+        let live = System::from_workload(&cfg, &wl, PolicyKind::Lru, None, salt).run();
+
+        // Capture: same run, records tee'd into a container.
+        let path = std::env::temp_dir().join("plru_system_capture_test.pltc");
+        let meta = TraceMeta {
+            workload: wl.name.clone(),
+            benchmarks: wl.benchmarks.clone(),
+            seed: cfg.seed,
+            seed_salt: salt,
+            insts: cfg.insts_target,
+            scheme: Some("L".into()),
+        };
+        let writer = Arc::new(Mutex::new(
+            TraceWriter::create(std::fs::File::create(&path).unwrap(), &meta).unwrap(),
+        ));
+        let profiles = wl.profiles();
+        let sources: Vec<Box<dyn TraceSource>> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Box::new(CapturingSource::new(
+                    TraceGenerator::new(p.clone(), System::thread_seed(&cfg, i, salt)),
+                    i,
+                    writer.clone(),
+                )) as Box<dyn TraceSource>
+            })
+            .collect();
+        let mut cap = System::from_sources(&cfg, &profiles, sources, PolicyKind::Lru, None, salt);
+        let captured = cap.run();
+        drop(cap);
+        Arc::try_unwrap(writer)
+            .expect("capture sources dropped")
+            .into_inner()
+            .unwrap()
+            .finish()
+            .unwrap();
+
+        // Replay from the file.
+        let replayed = System::from_trace(&cfg, &path, PolicyKind::Lru, None, salt)
+            .unwrap()
+            .run();
+        let _ = std::fs::remove_file(&path);
+
+        let json = |r: &SimResult| serde_json::to_string(r).unwrap();
+        assert_eq!(json(&captured), json(&live), "capture must not perturb");
+        assert_eq!(json(&replayed), json(&live), "replay must be bit-identical");
+    }
+
+    #[test]
+    fn trace_with_wrong_core_count_is_rejected() {
+        let cfg = quick_cfg(2);
+        let wl = workload("2T_01").unwrap();
+        // Record a 2-thread trace, then try to replay it on 4 cores.
+        let path = std::env::temp_dir().join("plru_system_core_count_test.pltc");
+        {
+            use std::sync::{Arc, Mutex};
+            use tracegen::trace::{CapturingSource, TraceMeta, TraceWriter};
+            let meta = TraceMeta {
+                workload: wl.name.clone(),
+                benchmarks: wl.benchmarks.clone(),
+                seed: cfg.seed,
+                seed_salt: 0,
+                insts: cfg.insts_target,
+                scheme: None,
+            };
+            let writer = Arc::new(Mutex::new(
+                TraceWriter::create(std::fs::File::create(&path).unwrap(), &meta).unwrap(),
+            ));
+            let profiles = wl.profiles();
+            let sources: Vec<Box<dyn TraceSource>> = profiles
+                .iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    Box::new(CapturingSource::new(
+                        TraceGenerator::new(p.clone(), System::thread_seed(&cfg, i, 0)),
+                        i,
+                        writer.clone(),
+                    )) as Box<dyn TraceSource>
+                })
+                .collect();
+            System::from_sources(&cfg, &profiles, sources, PolicyKind::Lru, None, 0).run();
+            Arc::try_unwrap(writer)
+                .expect("sole owner")
+                .into_inner()
+                .unwrap()
+                .finish()
+                .unwrap();
+        }
+        let wide = quick_cfg(4);
+        let err = match System::from_trace(&wide, &path, PolicyKind::Lru, None, 0) {
+            Ok(_) => panic!("2-thread trace must not build a 4-core system"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("cores"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

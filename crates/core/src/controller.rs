@@ -16,6 +16,25 @@ use cachesim::{Addr, CacheGeometry, Enforcement};
 ///    controller's per-thread ATDs sample internally);
 /// 3. at every `interval_cycles` boundary call
 ///    [`CpaController::on_interval`] and install the returned enforcement.
+///
+/// ```
+/// use cachesim::CacheGeometry;
+/// use plru_core::{CpaConfig, CpaController};
+///
+/// // M-0.75N on the paper's 2 MB / 16-way L2, two threads.
+/// let geom = CacheGeometry::new(2 * 1024 * 1024, 16, 128).unwrap();
+/// let mut ctl = CpaController::new(CpaConfig::m_nru(0.75), geom, 2);
+/// let _initial = ctl.initial_enforcement(); // equal split to start
+///
+/// // Thread 0 streams, thread 1 re-touches a small working set.
+/// for i in 0..20_000u64 {
+///     ctl.observe(0, i * 128);
+///     ctl.observe(1, (i % 64) * 128);
+/// }
+/// let _enforcement = ctl.on_interval(); // install on the L2
+/// assert_eq!(ctl.allocation().len(), 2);
+/// assert_eq!(ctl.allocation().iter().sum::<usize>(), 16);
+/// ```
 #[derive(Debug, Clone)]
 pub struct CpaController {
     config: CpaConfig,

@@ -18,7 +18,7 @@ use std::io::{self, Read, Write};
 const MAGIC: &[u8; 4] = b"PLRT";
 const VERSION: u32 = 1;
 
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+pub(crate) fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -30,7 +30,7 @@ fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     }
 }
 
-fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
+pub(crate) fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -51,12 +51,12 @@ fn read_varint<R: Read>(r: &mut R) -> io::Result<u64> {
 }
 
 #[inline]
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
 #[inline]
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 

@@ -26,6 +26,12 @@
 //! standing in for SimPoint phase behaviour, so the **dynamic** CPA has
 //! real drift to adapt to.
 //!
+//! Simulations consume traces through the [`TraceSource`] abstraction:
+//! the live [`TraceGenerator`] is one implementation, and the [`trace`]
+//! module provides the other — a versioned, chunked binary container
+//! ([`trace::TraceWriter`] / [`trace::TraceReader`]) that records a
+//! workload's per-thread streams once and replays them bit-identically.
+//!
 //! ## Example
 //!
 //! ```
@@ -42,10 +48,12 @@ pub mod component;
 pub mod generator;
 pub mod io;
 pub mod record;
+pub mod trace;
 pub mod workloads;
 
 pub use benchmark::{benchmark, benchmark_names, BenchmarkProfile, PhaseSpec};
 pub use component::{Component, Mixture};
 pub use generator::TraceGenerator;
 pub use record::MemRecord;
+pub use trace::{TraceError, TraceInfo, TraceMeta, TraceSource};
 pub use workloads::{all_workloads, workload, workloads_with_threads, Workload};

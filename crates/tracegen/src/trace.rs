@@ -1,0 +1,933 @@
+//! Versioned binary trace capture & replay — the recorded-trace backend.
+//!
+//! The generator in this crate synthesises traces *live*; this module is
+//! the other half of the paper's SimPoint methodology: record a
+//! workload's per-thread memory-access streams **once** into a compact,
+//! versioned container, then replay the file through the simulator as
+//! many times as needed — bit-identical to the live run it captured, and
+//! cheap to share between machines, sweeps and figure binaries.
+//!
+//! ## Container layout
+//!
+//! ```text
+//! magic "PLTC" | version u32 | meta_len u32 | meta JSON ([`TraceMeta`]) |
+//! thread_count u32 | per-thread record count u64 × thread_count |
+//! chunk* where chunk = thread u32 | records u32 | payload_len u32 | payload
+//! ```
+//!
+//! Each chunk holds up to [`CHUNK_RECORDS`] records of **one** thread,
+//! encoded as two varints per record: `(gap << 1) | is_write` and the
+//! zigzag of the address delta against the previous record in the chunk
+//! (the first record deltas against 0). Chunks of different threads may
+//! interleave arbitrarily — a capture run emits them in simulated-time
+//! order — and the per-thread record counts in the header are patched in
+//! by [`TraceWriter::finish`], so both writing and reading stream chunk
+//! by chunk without ever materialising a full trace in memory.
+//!
+//! ## Reading and replaying
+//!
+//! [`read_info`] / [`load_info`] decode only the header; [`validate_path`]
+//! streams the whole file and cross-checks every chunk against the header
+//! counts (the cheap pre-flight the `trace`/`sweep` binaries run so a
+//! corrupt file is a readable error, not a mid-simulation panic);
+//! [`TraceReader`] streams one thread's records off any [`Read`];
+//! [`RecordedThread`] is the file-backed [`TraceSource`] the simulator
+//! plugs in where a live [`TraceGenerator`] would go — strict for
+//! capture-mode traces, cyclic for generator-streamed ones (see its
+//! docs for the exhaustion semantics).
+
+use crate::io::{read_varint, unzigzag, write_varint, zigzag};
+use crate::record::MemRecord;
+use crate::TraceGenerator;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Container magic (distinct from the flat single-stream format in
+/// [`crate::io`]).
+pub const TRACE_MAGIC: &[u8; 4] = b"PLTC";
+/// Current container format version.
+pub const TRACE_VERSION: u32 = 1;
+/// Records per chunk: small enough that a pending chunk is a few KB of
+/// buffer, large enough that chunk headers are noise.
+pub const CHUNK_RECORDS: usize = 4096;
+/// Upper bound on a single chunk's payload (a corrupt length field must
+/// not allocate unbounded memory).
+const MAX_CHUNK_PAYLOAD: u32 = 1 << 24;
+
+/// Why a trace file could not be written, read or replayed.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The bytes are not a valid trace container (bad magic, unsupported
+    /// version, corrupt chunk, count mismatch, ...).
+    Format(String),
+}
+
+impl TraceError {
+    pub(crate) fn format(msg: impl Into<String>) -> Self {
+        TraceError::Format(msg.into())
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "{e}"),
+            TraceError::Format(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// One thread's worth of memory-access records, as the simulator consumes
+/// them.
+///
+/// Implemented by the live [`TraceGenerator`] and by the recorded-file
+/// [`RecordedThread`], so every simulation can run from either; the
+/// simulator treats sources as infinite streams (the paper keeps finished
+/// threads running so contention stays realistic). Recorded sources stay
+/// total either by cycling (generator-streamed traces) or by the caller
+/// guarding the replay target against [`TraceMeta::insts`] up front
+/// (capture-mode traces, which panic rather than silently break their
+/// bit-fidelity claim).
+pub trait TraceSource: Send + fmt::Debug {
+    /// Produce the next memory-access record.
+    fn next_record(&mut self) -> MemRecord;
+}
+
+impl TraceSource for TraceGenerator {
+    fn next_record(&mut self) -> MemRecord {
+        // Resolves to the inherent method (inherent wins over the trait).
+        self.next_record()
+    }
+}
+
+/// Workload metadata carried in the container header: what was recorded
+/// and under which knobs, so a trace file is self-describing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Workload display name (`"2T_06"`, `"gzip+eon"`).
+    pub workload: String,
+    /// Benchmark names, one per thread — replay resolves these to
+    /// [`BenchmarkProfile`](crate::BenchmarkProfile)s for the timing model
+    /// (base CPI, code footprint); only the memory-access stream comes
+    /// from the file.
+    pub benchmarks: Vec<String>,
+    /// Base RNG seed of the capture run.
+    pub seed: u64,
+    /// Seed salt of the capture run.
+    pub seed_salt: u64,
+    /// Committed-instruction target the capture simulation ran to, or 0
+    /// for generator-streamed traces with no simulation behind them.
+    /// Replays at any target ≤ a non-zero value are guaranteed not to
+    /// exhaust the recorded streams; a zero value means the streams make
+    /// no sufficiency claim and replay **cyclically** instead (see
+    /// [`RecordedThread`]).
+    pub insts: u64,
+    /// Scheme acronym of the capture run (`"L"`, `"M-0.75N"`, ...), if it
+    /// was captured from a simulation.
+    pub scheme: Option<String>,
+}
+
+impl TraceMeta {
+    /// Thread (= core) count of the recorded workload.
+    pub fn threads(&self) -> usize {
+        self.benchmarks.len()
+    }
+}
+
+/// Decoded container header: format version, metadata and per-thread
+/// record counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceInfo {
+    /// Container format version the file was written with.
+    pub version: u32,
+    /// Workload metadata.
+    pub meta: TraceMeta,
+    /// Records recorded per thread, in thread order.
+    pub records: Vec<u64>,
+}
+
+impl TraceInfo {
+    /// Total records across all threads.
+    pub fn total_records(&self) -> u64 {
+        self.records.iter().sum()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Writing.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct ChunkBuf {
+    payload: Vec<u8>,
+    records: u32,
+    prev_addr: u64,
+}
+
+/// Streaming trace writer: records are buffered per thread into chunks of
+/// [`CHUNK_RECORDS`] and flushed as they fill, so memory stays bounded by
+/// one pending chunk per thread no matter how long the trace runs.
+///
+/// The per-thread record counts live at a fixed header offset and are
+/// written as zeros by [`TraceWriter::create`]; [`TraceWriter::finish`]
+/// flushes every pending chunk and seeks back to patch them — forgetting
+/// to call it leaves a file whose header claims zero records.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write + Seek> {
+    w: W,
+    counts: Vec<u64>,
+    counts_pos: u64,
+    bufs: Vec<ChunkBuf>,
+}
+
+impl<W: Write + Seek> TraceWriter<W> {
+    /// Write the container header for `meta` and return a writer ready to
+    /// accept records for `meta.threads()` threads.
+    pub fn create(mut w: W, meta: &TraceMeta) -> Result<Self, TraceError> {
+        let threads = meta.threads();
+        if threads == 0 {
+            return Err(TraceError::format(
+                "trace metadata names no benchmarks (zero threads)",
+            ));
+        }
+        let meta_json = serde_json::to_string(meta)
+            .map_err(|e| TraceError::format(format!("metadata does not serialize: {e}")))?;
+        w.write_all(TRACE_MAGIC)?;
+        w.write_all(&TRACE_VERSION.to_le_bytes())?;
+        w.write_all(&(meta_json.len() as u32).to_le_bytes())?;
+        w.write_all(meta_json.as_bytes())?;
+        w.write_all(&(threads as u32).to_le_bytes())?;
+        let counts_pos = w.stream_position()?;
+        for _ in 0..threads {
+            w.write_all(&0u64.to_le_bytes())?;
+        }
+        Ok(TraceWriter {
+            w,
+            counts: vec![0; threads],
+            counts_pos,
+            bufs: (0..threads).map(|_| ChunkBuf::default()).collect(),
+        })
+    }
+
+    /// Threads this writer records.
+    pub fn threads(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Records accepted so far, per thread.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Append one record to `thread`'s stream.
+    pub fn push(&mut self, thread: usize, rec: MemRecord) -> Result<(), TraceError> {
+        let buf = self
+            .bufs
+            .get_mut(thread)
+            .ok_or_else(|| TraceError::format(format!("thread {thread} out of range")))?;
+        write_varint(
+            &mut buf.payload,
+            (u64::from(rec.gap) << 1) | u64::from(rec.is_write),
+        )?;
+        write_varint(
+            &mut buf.payload,
+            zigzag(rec.addr.wrapping_sub(buf.prev_addr) as i64),
+        )?;
+        buf.prev_addr = rec.addr;
+        buf.records += 1;
+        self.counts[thread] += 1;
+        if buf.records as usize >= CHUNK_RECORDS {
+            self.flush_chunk(thread)?;
+        }
+        Ok(())
+    }
+
+    fn flush_chunk(&mut self, thread: usize) -> Result<(), TraceError> {
+        let buf = &mut self.bufs[thread];
+        if buf.records == 0 {
+            return Ok(());
+        }
+        self.w.write_all(&(thread as u32).to_le_bytes())?;
+        self.w.write_all(&buf.records.to_le_bytes())?;
+        self.w
+            .write_all(&(buf.payload.len() as u32).to_le_bytes())?;
+        self.w.write_all(&buf.payload)?;
+        buf.payload.clear();
+        buf.records = 0;
+        buf.prev_addr = 0;
+        Ok(())
+    }
+
+    /// Flush every pending chunk, patch the per-thread record counts into
+    /// the header, and hand the underlying writer back.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        for t in 0..self.bufs.len() {
+            self.flush_chunk(t)?;
+        }
+        self.w.seek(SeekFrom::Start(self.counts_pos))?;
+        for &c in &self.counts {
+            self.w.write_all(&c.to_le_bytes())?;
+        }
+        self.w.seek(SeekFrom::End(0))?;
+        self.w.flush()?;
+        Ok(self.w)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reading.
+// ---------------------------------------------------------------------
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Decode the container header (magic through the record-count table),
+/// leaving `r` positioned at the first chunk.
+pub fn read_info<R: Read>(r: &mut R) -> Result<TraceInfo, TraceError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)
+        .map_err(|_| TraceError::format("not a trace file (too short for the magic)"))?;
+    if &magic != TRACE_MAGIC {
+        return Err(TraceError::format(format!(
+            "not a trace file (magic {magic:02x?}, expected {TRACE_MAGIC:02x?} = \"PLTC\")"
+        )));
+    }
+    let version = read_u32(r)?;
+    if version != TRACE_VERSION {
+        return Err(TraceError::format(format!(
+            "unsupported trace format version {version} (this build reads version {TRACE_VERSION})"
+        )));
+    }
+    let meta_len = read_u32(r)?;
+    if meta_len > MAX_CHUNK_PAYLOAD {
+        return Err(TraceError::format(format!(
+            "implausible metadata length {meta_len}"
+        )));
+    }
+    let mut meta_bytes = vec![0u8; meta_len as usize];
+    r.read_exact(&mut meta_bytes)?;
+    let meta_json = std::str::from_utf8(&meta_bytes)
+        .map_err(|_| TraceError::format("metadata is not UTF-8"))?;
+    let meta: TraceMeta = serde_json::from_str(meta_json)
+        .map_err(|e| TraceError::format(format!("bad trace metadata: {e}")))?;
+    let threads = read_u32(r)? as usize;
+    if threads != meta.threads() {
+        return Err(TraceError::format(format!(
+            "header thread count {threads} disagrees with the {} metadata benchmarks",
+            meta.threads()
+        )));
+    }
+    let mut records = Vec::with_capacity(threads);
+    for _ in 0..threads {
+        records.push(read_u64(r)?);
+    }
+    Ok(TraceInfo {
+        version,
+        meta,
+        records,
+    })
+}
+
+/// [`read_info`] on a file path.
+pub fn load_info(path: impl AsRef<Path>) -> Result<TraceInfo, TraceError> {
+    let path = path.as_ref();
+    let mut r = BufReader::new(File::open(path)?);
+    read_info(&mut r)
+}
+
+/// One chunk's header, or `None` at a clean end of stream.
+fn read_chunk_header<R: Read>(
+    r: &mut R,
+    threads: usize,
+) -> Result<Option<(usize, u32, u32)>, TraceError> {
+    let mut first = [0u8; 1];
+    if r.read(&mut first)? == 0 {
+        return Ok(None);
+    }
+    let mut rest = [0u8; 11];
+    r.read_exact(&mut rest)
+        .map_err(|_| TraceError::format("truncated chunk header"))?;
+    let mut b4 = [0u8; 4];
+    b4[0] = first[0];
+    b4[1..4].copy_from_slice(&rest[0..3]);
+    let thread = u32::from_le_bytes(b4) as usize;
+    let records = u32::from_le_bytes(rest[3..7].try_into().unwrap());
+    let payload_len = u32::from_le_bytes(rest[7..11].try_into().unwrap());
+    if thread >= threads {
+        return Err(TraceError::format(format!(
+            "chunk names thread {thread}, but the trace has {threads} threads"
+        )));
+    }
+    if records == 0 {
+        return Err(TraceError::format("empty chunk"));
+    }
+    if payload_len > MAX_CHUNK_PAYLOAD {
+        return Err(TraceError::format(format!(
+            "implausible chunk payload length {payload_len}"
+        )));
+    }
+    Ok(Some((thread, records, payload_len)))
+}
+
+/// Decode `records` records out of a chunk `payload`, appending to `out`.
+fn decode_chunk(payload: &[u8], records: u32, out: &mut Vec<MemRecord>) -> Result<(), TraceError> {
+    let mut cur = payload;
+    let mut prev_addr = 0u64;
+    for _ in 0..records {
+        let v = read_varint(&mut cur).map_err(|_| TraceError::format("truncated record"))?;
+        let gap = u32::try_from(v >> 1).map_err(|_| TraceError::format("gap overflows u32"))?;
+        let delta =
+            unzigzag(read_varint(&mut cur).map_err(|_| TraceError::format("truncated record"))?);
+        let addr = prev_addr.wrapping_add(delta as u64);
+        out.push(MemRecord {
+            gap,
+            addr,
+            is_write: v & 1 == 1,
+        });
+        prev_addr = addr;
+    }
+    if !cur.is_empty() {
+        return Err(TraceError::format(format!(
+            "chunk payload has {} trailing bytes",
+            cur.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Streaming reader of **one thread's** records out of a container.
+///
+/// Chunks of other threads are skipped; decoding state is bounded by one
+/// chunk. The reader knows its thread's record count from the header, so
+/// the end of the stream is a clean `Ok(None)` even though chunks of
+/// other threads may follow.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    r: R,
+    thread: usize,
+    info: TraceInfo,
+    delivered: u64,
+    chunk: Vec<MemRecord>,
+    chunk_pos: usize,
+    scratch: Vec<u8>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Decode the header of `r` and position a reader on `thread`'s
+    /// stream.
+    pub fn new(mut r: R, thread: usize) -> Result<Self, TraceError> {
+        let info = read_info(&mut r)?;
+        if thread >= info.meta.threads() {
+            return Err(TraceError::format(format!(
+                "thread {thread} out of range (trace has {})",
+                info.meta.threads()
+            )));
+        }
+        Ok(TraceReader {
+            r,
+            thread,
+            info,
+            delivered: 0,
+            chunk: Vec::new(),
+            chunk_pos: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// The decoded header.
+    pub fn info(&self) -> &TraceInfo {
+        &self.info
+    }
+
+    /// Records already delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Next record of this thread's stream; `Ok(None)` once the header's
+    /// record count has been delivered.
+    pub fn try_next(&mut self) -> Result<Option<MemRecord>, TraceError> {
+        if self.delivered >= self.info.records[self.thread] {
+            return Ok(None);
+        }
+        while self.chunk_pos >= self.chunk.len() {
+            let (thread, records, payload_len) =
+                match read_chunk_header(&mut self.r, self.info.meta.threads())? {
+                    Some(h) => h,
+                    None => {
+                        return Err(TraceError::format(format!(
+                            "trace ends early: thread {} delivered {} of {} records",
+                            self.thread, self.delivered, self.info.records[self.thread]
+                        )))
+                    }
+                };
+            self.scratch.resize(payload_len as usize, 0);
+            self.r
+                .read_exact(&mut self.scratch)
+                .map_err(|_| TraceError::format("truncated chunk payload"))?;
+            if thread != self.thread {
+                continue;
+            }
+            self.chunk.clear();
+            self.chunk_pos = 0;
+            decode_chunk(&self.scratch, records, &mut self.chunk)?;
+        }
+        let rec = self.chunk[self.chunk_pos];
+        self.chunk_pos += 1;
+        self.delivered += 1;
+        Ok(Some(rec))
+    }
+}
+
+/// Stream the whole container once, cross-checking every chunk and the
+/// header's per-thread record counts; returns the header on success.
+///
+/// This is the pre-flight the `trace` and `sweep` binaries (and scenario
+/// expansion) run so a malformed file surfaces as a readable error before
+/// any simulation starts.
+pub fn validate_path(path: impl AsRef<Path>) -> Result<TraceInfo, TraceError> {
+    let path = path.as_ref();
+    let mut r = BufReader::new(File::open(path)?);
+    let info = read_info(&mut r)?;
+    let mut seen = vec![0u64; info.meta.threads()];
+    let mut scratch = Vec::new();
+    let mut decoded = Vec::new();
+    while let Some((thread, records, payload_len)) = read_chunk_header(&mut r, info.meta.threads())?
+    {
+        scratch.resize(payload_len as usize, 0);
+        r.read_exact(&mut scratch)
+            .map_err(|_| TraceError::format("truncated chunk payload"))?;
+        decoded.clear();
+        decode_chunk(&scratch, records, &mut decoded)?;
+        seen[thread] += u64::from(records);
+    }
+    if seen != info.records {
+        return Err(TraceError::format(format!(
+            "per-thread record counts {seen:?} disagree with the header {:?}",
+            info.records
+        )));
+    }
+    Ok(info)
+}
+
+/// A file-backed [`TraceSource`] replaying one recorded thread.
+///
+/// Opens its own handle on the container (threads replay concurrently
+/// without sharing reader state).
+///
+/// **Exhaustion semantics** follow what the header claims:
+///
+/// * capture-mode traces (`meta.insts != 0`) guarantee sufficiency only
+///   up to the recorded instruction target, so running dry means the
+///   bit-fidelity contract is already broken — the source panics with a
+///   diagnostic naming the file and thread (callers guard up front by
+///   comparing the replay target with [`TraceMeta::insts`]);
+/// * generator-streamed traces (`meta.insts == 0`) make no sufficiency
+///   claim and replay **cyclically**: at the end of the recorded stream
+///   the source rewinds to the start, mirroring the live generator's
+///   cyclic phase schedule, so replay is total at any instruction
+///   target. [`RecordedThread::wraps`] counts the rewinds.
+///
+/// Corruption mid-replay panics either way; run [`validate_path`] up
+/// front to turn it into a readable error instead.
+#[derive(Debug)]
+pub struct RecordedThread {
+    reader: TraceReader<BufReader<File>>,
+    path: PathBuf,
+    thread: usize,
+    wraps: u64,
+}
+
+impl RecordedThread {
+    /// Open `thread`'s stream of the container at `path`.
+    ///
+    /// Errors if the thread of a generator-streamed (cyclic) container
+    /// has zero records — there would be nothing to cycle through.
+    pub fn open(path: impl AsRef<Path>, thread: usize) -> Result<Self, TraceError> {
+        let path = path.as_ref().to_path_buf();
+        let reader = TraceReader::new(BufReader::new(File::open(&path)?), thread)?;
+        let info = reader.info();
+        if info.meta.insts == 0 && info.records[thread] == 0 {
+            return Err(TraceError::format(format!(
+                "thread {thread} of the generator-streamed trace has no records to cycle through"
+            )));
+        }
+        Ok(RecordedThread {
+            reader,
+            path,
+            thread,
+            wraps: 0,
+        })
+    }
+
+    /// The container header.
+    pub fn info(&self) -> &TraceInfo {
+        self.reader.info()
+    }
+
+    /// How many times a cyclic (generator-streamed) replay has wrapped
+    /// back to the start of its stream.
+    pub fn wraps(&self) -> u64 {
+        self.wraps
+    }
+}
+
+impl TraceSource for RecordedThread {
+    fn next_record(&mut self) -> MemRecord {
+        loop {
+            match self.reader.try_next() {
+                Ok(Some(rec)) => return rec,
+                Ok(None) if self.info().meta.insts == 0 => {
+                    // Cyclic replay: reopen at the start of the stream.
+                    self.wraps += 1;
+                    let file = File::open(&self.path).unwrap_or_else(|e| {
+                        panic!(
+                            "recorded trace {} vanished mid-replay: {e}",
+                            self.path.display()
+                        )
+                    });
+                    self.reader = TraceReader::new(BufReader::new(file), self.thread)
+                        .unwrap_or_else(|e| {
+                            panic!(
+                                "recorded trace {} failed on rewind for thread {}: {e}",
+                                self.path.display(),
+                                self.thread
+                            )
+                        });
+                }
+                Ok(None) => panic!(
+                    "recorded trace {} exhausted for thread {} after {} records; \
+                     re-record with a larger --insts than the replay needs",
+                    self.path.display(),
+                    self.thread,
+                    self.reader.delivered()
+                ),
+                Err(e) => panic!(
+                    "recorded trace {} failed for thread {}: {e}",
+                    self.path.display(),
+                    self.thread
+                ),
+            }
+        }
+    }
+}
+
+/// Open one [`RecordedThread`] per recorded thread, plus the shared
+/// header — the bundle [`System::from_trace`](../../cmpsim/struct.System.html)
+/// plugs into the simulator.
+pub fn open_sources(
+    path: impl AsRef<Path>,
+) -> Result<(TraceInfo, Vec<Box<dyn TraceSource>>), TraceError> {
+    let path = path.as_ref();
+    let info = load_info(path)?;
+    let mut sources: Vec<Box<dyn TraceSource>> = Vec::with_capacity(info.meta.threads());
+    for t in 0..info.meta.threads() {
+        sources.push(Box::new(RecordedThread::open(path, t)?));
+    }
+    Ok((info, sources))
+}
+
+/// A [`TraceSource`] that tees every record a live generator produces
+/// into a shared [`TraceWriter`] — how a capture run records exactly the
+/// streams the simulation consumed, with no margin guesswork.
+///
+/// The simulator pulls records from one thread at a time, so the mutex is
+/// uncontended; it exists so capture sources stay `Send` and the writer
+/// can be recovered after the run.
+pub struct CapturingSource<W: Write + Seek + Send> {
+    inner: TraceGenerator,
+    thread: usize,
+    writer: Arc<Mutex<TraceWriter<W>>>,
+}
+
+impl<W: Write + Seek + Send> CapturingSource<W> {
+    /// Wrap `inner` so its records for `thread` are tee'd into `writer`.
+    pub fn new(inner: TraceGenerator, thread: usize, writer: Arc<Mutex<TraceWriter<W>>>) -> Self {
+        CapturingSource {
+            inner,
+            thread,
+            writer,
+        }
+    }
+}
+
+impl<W: Write + Seek + Send> fmt::Debug for CapturingSource<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CapturingSource")
+            .field("thread", &self.thread)
+            .field("benchmark", &self.inner.profile().name)
+            .finish()
+    }
+}
+
+impl<W: Write + Seek + Send> TraceSource for CapturingSource<W> {
+    fn next_record(&mut self) -> MemRecord {
+        let rec = self.inner.next_record();
+        self.writer
+            .lock()
+            .expect("capture writer poisoned")
+            .push(self.thread, rec)
+            .unwrap_or_else(|e| panic!("trace capture write failed: {e}"));
+        rec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn meta(benchmarks: &[&str]) -> TraceMeta {
+        TraceMeta {
+            workload: benchmarks.join("+"),
+            benchmarks: benchmarks.iter().map(|s| s.to_string()).collect(),
+            seed: 7,
+            seed_salt: 0,
+            insts: 1000,
+            scheme: Some("L".into()),
+        }
+    }
+
+    fn sample(seed: u64, n: usize) -> Vec<MemRecord> {
+        let mut g = TraceGenerator::new(crate::benchmark("twolf").unwrap(), seed);
+        (0..n).map(|_| g.next_record()).collect()
+    }
+
+    fn write_two_threads(a: &[MemRecord], b: &[MemRecord]) -> Vec<u8> {
+        let mut w =
+            TraceWriter::create(Cursor::new(Vec::new()), &meta(&["twolf", "gzip"])).unwrap();
+        // Interleave pushes to exercise chunk interleaving.
+        let mut ia = a.iter();
+        let mut ib = b.iter();
+        loop {
+            match (ia.next(), ib.next()) {
+                (None, None) => break,
+                (ra, rb) => {
+                    if let Some(r) = ra {
+                        w.push(0, *r).unwrap();
+                    }
+                    if let Some(r) = rb {
+                        w.push(1, *r).unwrap();
+                    }
+                }
+            }
+        }
+        w.finish().unwrap().into_inner()
+    }
+
+    fn read_thread(bytes: &[u8], thread: usize) -> Vec<MemRecord> {
+        let mut r = TraceReader::new(Cursor::new(bytes), thread).unwrap();
+        let mut out = Vec::new();
+        while let Some(rec) = r.try_next().unwrap() {
+            out.push(rec);
+        }
+        out
+    }
+
+    #[test]
+    fn round_trip_preserves_both_threads() {
+        let a = sample(3, 9000);
+        let b = sample(4, 5000);
+        let bytes = write_two_threads(&a, &b);
+        assert_eq!(read_thread(&bytes, 0), a);
+        assert_eq!(read_thread(&bytes, 1), b);
+    }
+
+    #[test]
+    fn header_counts_match_pushes() {
+        let a = sample(1, 100);
+        let b = sample(2, 57);
+        let bytes = write_two_threads(&a, &b);
+        let info = read_info(&mut &bytes[..]).unwrap();
+        assert_eq!(info.version, TRACE_VERSION);
+        assert_eq!(info.records, vec![100, 57]);
+        assert_eq!(info.total_records(), 157);
+        assert_eq!(info.meta.benchmarks, vec!["twolf", "gzip"]);
+    }
+
+    #[test]
+    fn reader_ends_cleanly_at_count() {
+        let bytes = write_two_threads(&sample(1, 10), &sample(2, 3));
+        let mut r = TraceReader::new(Cursor::new(&bytes), 1).unwrap();
+        for _ in 0..3 {
+            assert!(r.try_next().unwrap().is_some());
+        }
+        assert!(r.try_next().unwrap().is_none());
+        assert!(r.try_next().unwrap().is_none(), "None is sticky");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_info(&mut &b"XXXXxxxxxxxx"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = write_two_threads(&sample(1, 5), &sample(2, 5));
+        bytes[4] = 99;
+        let err = read_info(&mut &bytes[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = write_two_threads(&sample(1, 6000), &sample(2, 6000));
+        let cut = &bytes[..bytes.len() - 20];
+        let mut r = TraceReader::new(Cursor::new(cut), 1).unwrap();
+        let res = std::iter::from_fn(|| r.try_next().transpose()).collect::<Result<Vec<_>, _>>();
+        assert!(res.is_err(), "truncated stream must error");
+    }
+
+    #[test]
+    fn chunk_boundaries_are_invisible() {
+        // More than one chunk, not a multiple of the chunk size.
+        let a = sample(9, CHUNK_RECORDS * 2 + 123);
+        let bytes = write_two_threads(&a, &sample(2, 1));
+        assert_eq!(read_thread(&bytes, 0), a);
+    }
+
+    #[test]
+    fn zero_thread_meta_is_rejected() {
+        let m = TraceMeta {
+            workload: "x".into(),
+            benchmarks: vec![],
+            seed: 0,
+            seed_salt: 0,
+            insts: 0,
+            scheme: None,
+        };
+        assert!(TraceWriter::create(Cursor::new(Vec::new()), &m).is_err());
+    }
+
+    #[test]
+    fn meta_round_trips_through_json() {
+        let m = meta(&["mcf"]);
+        let s = serde_json::to_string(&m).unwrap();
+        assert_eq!(serde_json::from_str::<TraceMeta>(&s).unwrap(), m);
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_corrupt_files() {
+        let bytes = write_two_threads(&sample(5, 5000), &sample(6, 2000));
+        let dir = std::env::temp_dir();
+        let good = dir.join("plru_trace_validate_good.pltc");
+        std::fs::write(&good, &bytes).unwrap();
+        let info = validate_path(&good).unwrap();
+        assert_eq!(info.records, vec![5000, 2000]);
+
+        let bad = dir.join("plru_trace_validate_bad.pltc");
+        let mut corrupt = bytes.clone();
+        let n = corrupt.len();
+        corrupt.truncate(n - 7);
+        std::fs::write(&bad, &corrupt).unwrap();
+        assert!(validate_path(&bad).is_err());
+        let _ = std::fs::remove_file(&good);
+        let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
+    fn generator_implements_trace_source() {
+        fn pull(s: &mut dyn TraceSource) -> MemRecord {
+            s.next_record()
+        }
+        let mut g = TraceGenerator::new(crate::benchmark("gzip").unwrap(), 11);
+        let mut h = TraceGenerator::new(crate::benchmark("gzip").unwrap(), 11);
+        assert_eq!(pull(&mut g), h.next_record());
+    }
+
+    #[test]
+    fn generator_streamed_traces_replay_cyclically() {
+        // meta.insts == 0 → cyclic: pulling past the end rewinds.
+        let n = 700usize;
+        let records = sample(13, n);
+        let m = TraceMeta {
+            insts: 0,
+            scheme: None,
+            ..meta(&["twolf"])
+        };
+        let mut w = TraceWriter::create(Cursor::new(Vec::new()), &m).unwrap();
+        for r in &records {
+            w.push(0, *r).unwrap();
+        }
+        let bytes = w.finish().unwrap().into_inner();
+        let path = std::env::temp_dir().join("plru_trace_cyclic_test.pltc");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mut src = RecordedThread::open(&path, 0).unwrap();
+        let first: Vec<MemRecord> = (0..n).map(|_| src.next_record()).collect();
+        let second: Vec<MemRecord> = (0..n).map(|_| src.next_record()).collect();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(first, records);
+        assert_eq!(second, records, "second lap replays the same stream");
+        assert_eq!(src.wraps(), 1);
+    }
+
+    #[test]
+    fn cyclic_trace_with_an_empty_thread_is_rejected_at_open() {
+        let m = TraceMeta {
+            insts: 0,
+            scheme: None,
+            ..meta(&["twolf", "gzip"])
+        };
+        let mut w = TraceWriter::create(Cursor::new(Vec::new()), &m).unwrap();
+        for r in sample(3, 10) {
+            w.push(0, r).unwrap(); // thread 1 stays empty
+        }
+        let bytes = w.finish().unwrap().into_inner();
+        let path = std::env::temp_dir().join("plru_trace_cyclic_empty_test.pltc");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(RecordedThread::open(&path, 0).is_ok());
+        let err = RecordedThread::open(&path, 1).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(err.to_string().contains("no records"), "{err}");
+    }
+
+    #[test]
+    fn capturing_source_is_transparent_and_records() {
+        let m = meta(&["gzip"]);
+        let w = Arc::new(Mutex::new(
+            TraceWriter::create(Cursor::new(Vec::new()), &m).unwrap(),
+        ));
+        let gen = TraceGenerator::new(crate::benchmark("gzip").unwrap(), 21);
+        let mut cap = CapturingSource::new(gen.clone(), 0, w.clone());
+        let mut plain = gen;
+        let pulled: Vec<MemRecord> = (0..500)
+            .map(|_| TraceSource::next_record(&mut cap))
+            .collect();
+        let expect: Vec<MemRecord> = (0..500).map(|_| plain.next_record()).collect();
+        assert_eq!(pulled, expect, "capture must not perturb the stream");
+        drop(cap);
+        let bytes = Arc::try_unwrap(w)
+            .expect("sole owner")
+            .into_inner()
+            .unwrap()
+            .finish()
+            .unwrap()
+            .into_inner();
+        assert_eq!(read_thread(&bytes, 0), expect);
+    }
+}

@@ -31,8 +31,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: sweep <spec.json> [--threads N] [--json PATH]\n\
          \n\
-         <spec.json>   scenario spec (see scenarios/ and the README's\n\
-         \u{20}             \"Scenario sweeps\" section for the schema)\n\
+         <spec.json>   scenario spec (see scenarios/ and docs/SCENARIOS.md\n\
+         \u{20}             for the schema, including recorded workloads)\n\
          --threads N   worker count (default: all hardware threads)\n\
          --json PATH   also write the full report as pretty JSON"
     );

@@ -1,0 +1,341 @@
+//! Record, replay and inspect binary trace containers (see
+//! [`tracegen::trace`] for the format).
+//!
+//! ```sh
+//! # Capture a Table II (or ad-hoc) workload's per-thread streams:
+//! cargo run --release --bin trace -- record --workload 2T_06 \
+//!     --insts 200000 --out traces/2T_06.pltc
+//!
+//! # Replay it through the engine (bit-identical to the capture run):
+//! cargo run --release --bin trace -- replay traces/2T_06.pltc
+//!
+//! # Dump the header:
+//! cargo run --release --bin trace -- info traces/2T_06.pltc
+//! ```
+//!
+//! Malformed or missing files are readable one-line errors with exit
+//! code 1, never panics.
+
+use plru_repro::prelude::*;
+use plru_repro::tracegen::trace::{self, TraceMeta, TraceWriter};
+use plru_repro::tracegen::TraceGenerator;
+use std::io::BufWriter;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace <record|replay|info> ...\n\
+         \n\
+         trace record (--workload NAME | --benchmarks A,B,..) --out FILE\n\
+         \u{20}            [--insts N] [--seed N] [--salt N] [--scheme S]\n\
+         \u{20}            [--records N]\n\
+         \u{20}   capture a workload to FILE. Default: run a full simulation\n\
+         \u{20}   (scheme S, default L) and record exactly the streams it\n\
+         \u{20}   consumes, plus headroom. With --records N, skip the\n\
+         \u{20}   simulation and record N generator records per thread;\n\
+         \u{20}   such traces replay cyclically at any --insts.\n\
+         \n\
+         trace replay FILE [--insts N] [--seed N] [--salt N] [--scheme S]\n\
+         \u{20}            [--json PATH]\n\
+         \u{20}   validate FILE and run it through the engine. Defaults to\n\
+         \u{20}   the recorded insts/seed/salt/scheme, so a bare replay\n\
+         \u{20}   reproduces the capture run bit for bit.\n\
+         \n\
+         trace info FILE [--json]\n\
+         \u{20}   print the container header (format version, workload\n\
+         \u{20}   metadata, per-thread record counts)."
+    );
+    exit(2);
+}
+
+fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("trace: {msg}");
+    exit(1);
+}
+
+/// Pull `--flag value` style options out of `args`; positional arguments
+/// are returned in order.
+struct Parsed {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+/// `json_is_bare`: `info` uses `--json` as a value-less switch, `replay`
+/// as `--json PATH`.
+fn parse(args: &[String], json_is_bare: bool) -> Parsed {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--help" || a == "-h" {
+            usage();
+        } else if let Some(name) = a.strip_prefix("--") {
+            if json_is_bare && name == "json" {
+                flags.push((name.to_string(), None));
+            } else {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| fail(format!("--{name} needs a value")));
+                flags.push((name.to_string(), Some(v.clone())));
+            }
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Parsed { positional, flags }
+}
+
+impl Parsed {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn get_u64(&self, name: &str) -> Option<u64> {
+        self.get(name).map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail(format!("--{name} expects an integer, got `{v}`")))
+        })
+    }
+
+    fn reject_unknown(&self, known: &[&str]) {
+        for (n, _) in &self.flags {
+            if !known.contains(&n.as_str()) {
+                fail(format!("unknown option --{n} (see trace --help)"));
+            }
+        }
+    }
+}
+
+/// Build the engine a subcommand's scheme/machine flags describe.
+fn engine_for(scheme_str: &str, cores: usize, insts: u64, seed: u64, salt: u64) -> SimEngine {
+    let scheme = SchemeKind::parse(scheme_str, None).unwrap_or_else(|e| fail(e));
+    let mut cfg = MachineConfig::paper_baseline(cores);
+    cfg.insts_target = insts;
+    cfg.seed = seed;
+    let builder = SimEngine::builder().machine(cfg).seed_salt(salt);
+    match scheme {
+        SchemeKind::Policy(p) => builder.policy(p),
+        SchemeKind::Cpa(c) => builder.cpa(c),
+    }
+    .build()
+}
+
+fn cmd_record(args: &[String]) {
+    let p = parse(args, false);
+    p.reject_unknown(&[
+        "workload",
+        "benchmarks",
+        "out",
+        "insts",
+        "seed",
+        "salt",
+        "scheme",
+        "records",
+    ]);
+    if !p.positional.is_empty() {
+        fail(format!("unexpected argument `{}`", p.positional[0]));
+    }
+    let out = p
+        .get("out")
+        .unwrap_or_else(|| fail("record needs --out FILE"));
+    let wl = match (p.get("workload"), p.get("benchmarks")) {
+        (Some(name), None) => {
+            workload(name).unwrap_or_else(|| fail(format!("unknown Table II workload `{name}`")))
+        }
+        (None, Some(list)) => {
+            let benchmarks: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
+            Workload::adhoc(&benchmarks).unwrap_or_else(|| {
+                fail(format!(
+                    "benchmark mix `{list}` is empty or names an unknown benchmark"
+                ))
+            })
+        }
+        _ => fail("record needs exactly one of --workload NAME or --benchmarks A,B,.."),
+    };
+    let baseline = MachineConfig::paper_baseline(wl.threads());
+    let insts = p.get_u64("insts").unwrap_or(baseline.insts_target);
+    let seed = p.get_u64("seed").unwrap_or(baseline.seed);
+    let salt = p.get_u64("salt").unwrap_or(0);
+
+    if let Some(records) = p.get_u64("records") {
+        // Generator mode: stream N records per thread, no simulation.
+        if records == 0 {
+            fail("--records must be at least 1");
+        }
+        if p.has("scheme") {
+            fail("--scheme only applies to capture mode (drop --records)");
+        }
+        if p.has("insts") {
+            fail(
+                "--insts only applies to capture mode (with --records the trace length \
+                 is the record count, and replay is cyclic at any target)",
+            );
+        }
+        let mut cfg = baseline;
+        cfg.seed = seed;
+        let meta = TraceMeta {
+            workload: wl.name.clone(),
+            benchmarks: wl.benchmarks.clone(),
+            seed,
+            seed_salt: salt,
+            insts: 0,
+            scheme: None,
+        };
+        let file = std::fs::File::create(out).unwrap_or_else(|e| fail(format!("{out}: {e}")));
+        let mut w = TraceWriter::create(BufWriter::new(file), &meta)
+            .unwrap_or_else(|e| fail(format!("{out}: {e}")));
+        for (i, profile) in wl.profiles().into_iter().enumerate() {
+            let mut g = TraceGenerator::new(profile, System::thread_seed(&cfg, i, salt));
+            for _ in 0..records {
+                w.push(i, g.next_record())
+                    .unwrap_or_else(|e| fail(format!("{out}: {e}")));
+            }
+        }
+        w.finish().unwrap_or_else(|e| fail(format!("{out}: {e}")));
+        eprintln!(
+            "recorded {} x {records} generator records of `{}` to {out}",
+            wl.threads(),
+            wl.name
+        );
+        return;
+    }
+
+    // Capture mode: run the simulation, tee the consumed streams.
+    let engine = engine_for(
+        p.get("scheme").unwrap_or("L"),
+        wl.threads(),
+        insts,
+        seed,
+        salt,
+    );
+    let result = engine
+        .record_trace(&wl, out)
+        .unwrap_or_else(|e| fail(format!("{out}: {e}")));
+    let info = trace::load_info(out).unwrap_or_else(|e| fail(format!("{out}: {e}")));
+    eprintln!(
+        "recorded `{}` under {} to {out}: {} records over {} threads (capture IPCs {:?})",
+        wl.name,
+        engine.scheme_acronym(),
+        info.total_records(),
+        wl.threads(),
+        result.ipcs()
+    );
+}
+
+fn cmd_replay(args: &[String]) {
+    let p = parse(args, false);
+    p.reject_unknown(&["insts", "seed", "salt", "scheme", "json"]);
+    let path = match p.positional.as_slice() {
+        [one] => one,
+        _ => fail("replay needs exactly one trace file"),
+    };
+    let info = trace::validate_path(path).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+    let meta = &info.meta;
+    let insts = match (p.get_u64("insts"), meta.insts) {
+        (Some(n), _) => n,
+        (None, 0) => fail(format!(
+            "{path} is a generator-streamed trace with no recorded instruction \
+             target; pass --insts explicitly"
+        )),
+        (None, recorded) => recorded,
+    };
+    let scheme = p
+        .get("scheme")
+        .map(str::to_string)
+        .or_else(|| meta.scheme.clone())
+        .unwrap_or_else(|| "L".to_string());
+    let seed = p.get_u64("seed").unwrap_or(meta.seed);
+    let salt = p.get_u64("salt").unwrap_or(meta.seed_salt);
+    let engine = engine_for(&scheme, meta.threads(), insts, seed, salt);
+    let result = engine
+        .run_trace(path)
+        .unwrap_or_else(|e| fail(format!("{path}: {e}")));
+    let metrics =
+        WorkloadMetrics::compute(&result.ipcs(), &engine.isolation_ipcs(&meta.benchmarks));
+
+    println!(
+        "replayed `{}` under {scheme}: {insts} insts/thread, seed {seed}, salt {salt}",
+        meta.workload
+    );
+    for (i, (b, core)) in meta.benchmarks.iter().zip(&result.cores).enumerate() {
+        println!(
+            "  core {i} {b:<10} ipc {:.4}  l2 {:>8} accesses, {:>8} misses",
+            core.ipc, core.l2_accesses, core.l2_misses
+        );
+    }
+    println!(
+        "throughput {:.4}  w.speedup {:.4}  h.mean {:.4}  cycles {}  intervals {}",
+        metrics.throughput,
+        metrics.weighted_speedup,
+        metrics.harmonic_mean,
+        result.total_cycles,
+        result.intervals
+    );
+    if !result.final_allocation.is_empty() {
+        println!("final allocation: {:?}", result.final_allocation);
+    }
+    if let Some(json_path) = p.get("json") {
+        let text = serde_json::to_string_pretty(&result).expect("results always serialize");
+        std::fs::write(json_path, text)
+            .unwrap_or_else(|e| fail(format!("writing {json_path}: {e}")));
+        eprintln!("wrote {json_path}");
+    }
+}
+
+fn cmd_info(args: &[String]) {
+    let p = parse(args, true);
+    p.reject_unknown(&["json"]);
+    let path = match p.positional.as_slice() {
+        [one] => one,
+        _ => fail("info needs exactly one trace file"),
+    };
+    let info = trace::load_info(path).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+    if p.has("json") {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&info).expect("info always serializes")
+        );
+        return;
+    }
+    let meta = &info.meta;
+    println!("format version: {}", info.version);
+    println!("workload: {} ({} threads)", meta.workload, meta.threads());
+    println!("benchmarks: {}", meta.benchmarks.join(", "));
+    match meta.insts {
+        0 => println!("captured: generator-streamed (no simulation)"),
+        n => println!(
+            "captured: scheme {}, insts {n}, seed {}, salt {}",
+            meta.scheme.as_deref().unwrap_or("?"),
+            meta.seed,
+            meta.seed_salt
+        ),
+    }
+    let counts: Vec<String> = info.records.iter().map(u64::to_string).collect();
+    println!(
+        "records: [{}] (total {})",
+        counts.join(", "),
+        info.total_records()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("--help") | Some("-h") | None => usage(),
+        Some(other) => {
+            eprintln!("unknown command `{other}`");
+            usage();
+        }
+    }
+}

@@ -22,6 +22,13 @@
 //! carries a shared [`IsolationCache`] so every relative metric divides
 //! by a memoised isolation run instead of recomputing it.
 //!
+//! Every engine can also run from the **recorded-trace backend**:
+//! [`SimEngine::record_trace`] captures exactly the per-thread streams a
+//! live run consumes into a versioned container (see
+//! [`tracegen::trace`]), and [`SimEngine::run_trace`] replays one —
+//! bit-identical to the live run under the same machine, scheme, seed
+//! and salt.
+//!
 //! ```
 //! use plru_repro::prelude::*;
 //!
@@ -37,8 +44,12 @@
 use cachesim::PolicyKind;
 use cmpsim::{MachineConfig, SimResult, System, WorkloadMetrics};
 use plru_core::CpaConfig;
-use std::sync::Arc;
-use tracegen::{BenchmarkProfile, Workload};
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use tracegen::trace::{self, CapturingSource, TraceError, TraceSource, TraceWriter};
+use tracegen::{BenchmarkProfile, TraceGenerator, TraceMeta, Workload};
 
 pub use cmpsim::runner::{parallel_map, IsolationCache};
 
@@ -251,6 +262,126 @@ impl SimEngine {
     /// Run many workloads across hardware threads, preserving order.
     pub fn run_many(&self, workloads: &[Workload]) -> Vec<SimResult> {
         parallel_map(workloads, |wl| self.run(wl))
+    }
+
+    /// Run `workload` once while recording the per-thread trace streams it
+    /// consumes into the container at `path`, returning the run's result
+    /// (the capture tee does not perturb the simulation — this *is* a
+    /// live run).
+    ///
+    /// The recorded streams are exactly what this engine's configuration
+    /// consumed, then padded by half as much again, so the file replays
+    /// bit-identically at any instruction target up to this engine's
+    /// ([`TraceMeta::insts`] records it) and has headroom for replaying
+    /// under other schemes, whose per-thread consumption differs a little.
+    pub fn record_trace(
+        &self,
+        workload: &Workload,
+        path: impl AsRef<Path>,
+    ) -> Result<SimResult, TraceError> {
+        let profiles = workload.profiles();
+        let meta = TraceMeta {
+            workload: workload.name.clone(),
+            benchmarks: workload.benchmarks.clone(),
+            seed: self.cfg.seed,
+            seed_salt: self.seed_salt,
+            insts: self.cfg.insts_target,
+            scheme: Some(self.scheme_acronym()),
+        };
+        let writer = Arc::new(Mutex::new(TraceWriter::create(
+            BufWriter::new(File::create(path)?),
+            &meta,
+        )?));
+        let sources: Vec<Box<dyn TraceSource>> = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Box::new(CapturingSource::new(
+                    TraceGenerator::new(
+                        p.clone(),
+                        System::thread_seed(&self.cfg, i, self.seed_salt),
+                    ),
+                    i,
+                    writer.clone(),
+                )) as Box<dyn TraceSource>
+            })
+            .collect();
+        let mut sys = System::from_sources(
+            &self.cfg,
+            &profiles,
+            sources,
+            self.policy,
+            self.cpa.clone(),
+            self.seed_salt,
+        );
+        let result = sys.run();
+        drop(sys);
+        let mut writer = Arc::try_unwrap(writer)
+            .expect("all capture sources dropped with the system")
+            .into_inner()
+            .expect("capture writer poisoned");
+
+        // Padding: regenerate each thread's stream past the consumed
+        // point so replays under other schemes (slightly different
+        // per-thread consumption) don't run dry.
+        let consumed = writer.counts().to_vec();
+        for (i, p) in profiles.iter().enumerate() {
+            let mut g =
+                TraceGenerator::new(p.clone(), System::thread_seed(&self.cfg, i, self.seed_salt));
+            for _ in 0..consumed[i] {
+                g.next_record();
+            }
+            for _ in 0..(consumed[i] / 2 + 1024) {
+                writer.push(i, g.next_record())?;
+            }
+        }
+        writer.finish()?;
+        Ok(result)
+    }
+
+    /// Build (but do not run) a system replaying the recorded trace at
+    /// `path` on this engine's machine, policy and CPA.
+    ///
+    /// Errors if the file is missing/malformed, its thread count differs
+    /// from the engine's core count, or — for capture-mode traces — the
+    /// engine's instruction target exceeds the recorded one (the
+    /// recorded streams would run dry mid-simulation).
+    /// Generator-streamed traces (`TraceMeta::insts == 0`) replay
+    /// cyclically and accept any target.
+    pub fn system_from_trace(&self, path: impl AsRef<Path>) -> Result<System, TraceError> {
+        let path = path.as_ref();
+        let info = trace::load_info(path)?;
+        if info.meta.insts != 0 && self.cfg.insts_target > info.meta.insts {
+            return Err(TraceError::Format(format!(
+                "captured to {} instructions per thread, but this engine targets {} \
+                 — re-record with a larger --insts",
+                info.meta.insts, self.cfg.insts_target
+            )));
+        }
+        System::from_trace(
+            &self.cfg,
+            path,
+            self.policy,
+            self.cpa.clone(),
+            self.seed_salt,
+        )
+    }
+
+    /// Replay the recorded trace at `path` to completion.
+    ///
+    /// With the same machine, scheme, seed and salt as the capture run,
+    /// the result is bit-identical to the live run the trace recorded.
+    pub fn run_trace(&self, path: impl AsRef<Path>) -> Result<SimResult, TraceError> {
+        Ok(self.system_from_trace(path)?.run())
+    }
+
+    /// The scheme acronym of this engine (`"L"`, `"M-0.75N"`, ...): the
+    /// CPA acronym when partitioning, else the bare policy's.
+    pub fn scheme_acronym(&self) -> String {
+        match &self.cpa {
+            Some(cpa) => cpa.acronym(),
+            None => self.policy.acronym().to_string(),
+        }
     }
 
     /// Memoised isolation IPC of one benchmark (alone, full L2, this

@@ -23,6 +23,15 @@
 //! and golden-snapshot-tested [`scenario::SweepReport`]s, driven by the
 //! `sweep` bin.
 //!
+//! Simulations run from either backend of the
+//! [`TraceSource`](tracegen::TraceSource) abstraction: live tracegen
+//! synthesis, or a recorded trace container
+//! ([`SimEngine::record_trace`](engine::SimEngine::record_trace) /
+//! [`run_trace`](engine::SimEngine::run_trace), the `trace` bin, and the
+//! `{"recorded": "<path>"}` workload axis of scenario specs) — replay is
+//! bit-identical to the live run it captured. See `docs/ARCHITECTURE.md`
+//! and `docs/SCENARIOS.md`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -66,7 +75,10 @@ pub mod prelude {
     };
     pub use hwmodel::{CacheParams, ComplexityTable, PowerModel, RunActivity};
     pub use plru_core::{CpaConfig, CpaController, Profiler, Sdh};
-    pub use tracegen::{all_workloads, benchmark, workload, TraceGenerator, Workload};
+    pub use tracegen::{
+        all_workloads, benchmark, workload, TraceError, TraceGenerator, TraceInfo, TraceMeta,
+        TraceSource, Workload,
+    };
 }
 
 #[cfg(test)]

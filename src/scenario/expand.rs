@@ -115,6 +115,9 @@ pub struct ScenarioCase {
     pub seed: u64,
     /// Record the controller's allocation history during the run.
     pub capture_history: bool,
+    /// Path of the recorded trace container this case replays instead of
+    /// synthesising its workload live (`None` for live tracegen cases).
+    pub recorded: Option<String>,
 }
 
 impl ScenarioCase {
@@ -192,19 +195,54 @@ impl ScenarioSpec {
         non_empty(&self.workloads, "workloads")?;
         non_empty(&self.schemes, "schemes")?;
 
-        // Resolve the workload axis (validates every name).
-        let mut workloads: Vec<Workload> = Vec::new();
+        // Resolve the workload axis (validates every name; recorded
+        // traces are fully stream-validated here so a corrupt file fails
+        // the whole sweep readably instead of panicking mid-case).
+        let mut workloads: Vec<(Workload, Option<String>)> = Vec::new();
         for sel in &dedupe(&self.workloads) {
             let wl = match sel {
-                WorkloadSel::Named(name) => tracegen::workload(name).ok_or_else(|| {
-                    ScenarioError::new(format!("unknown Table II workload `{name}`"))
-                })?,
-                WorkloadSel::Profiles(benchmarks) => {
+                WorkloadSel::Named(name) => (
+                    tracegen::workload(name).ok_or_else(|| {
+                        ScenarioError::new(format!("unknown Table II workload `{name}`"))
+                    })?,
+                    None,
+                ),
+                WorkloadSel::Profiles(benchmarks) => (
                     Workload::adhoc(benchmarks).ok_or_else(|| {
                         ScenarioError::new(format!(
                             "workload mix {benchmarks:?} is empty or names an unknown benchmark"
                         ))
-                    })?
+                    })?,
+                    None,
+                ),
+                WorkloadSel::Recorded(path) => {
+                    let info = tracegen::trace::validate_path(path)
+                        .map_err(|e| ScenarioError::new(format!("recorded trace `{path}`: {e}")))?;
+                    for b in &info.meta.benchmarks {
+                        if tracegen::benchmark(b).is_none() {
+                            return Err(ScenarioError::new(format!(
+                                "recorded trace `{path}` names unknown benchmark `{b}`"
+                            )));
+                        }
+                    }
+                    // Capture-mode traces guarantee sufficiency only up
+                    // to their recorded target; generator-streamed ones
+                    // (insts == 0) replay cyclically, so any target is
+                    // fine.
+                    if info.meta.insts != 0 && insts > info.meta.insts {
+                        return Err(ScenarioError::new(format!(
+                            "recorded trace `{path}` was captured to {} instructions \
+                             per thread, but the spec asks for {insts}",
+                            info.meta.insts
+                        )));
+                    }
+                    (
+                        Workload {
+                            name: info.meta.workload.clone(),
+                            benchmarks: info.meta.benchmarks.clone(),
+                        },
+                        Some(path.clone()),
+                    )
                 }
             };
             workloads.push(wl);
@@ -254,7 +292,7 @@ impl ScenarioSpec {
         }
 
         let mut cases = Vec::new();
-        for wl in &workloads {
+        for (wl, recorded) in &workloads {
             for scheme in &schemes {
                 for &l2_bytes in &l2_sizes {
                     for &l2_assoc in &l2_assocs {
@@ -270,6 +308,7 @@ impl ScenarioSpec {
                                 insts,
                                 seed,
                                 capture_history,
+                                recorded: recorded.clone(),
                             });
                         }
                     }

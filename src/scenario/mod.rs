@@ -7,9 +7,9 @@
 //! execution fleet:
 //!
 //! * [`spec`] — [`ScenarioSpec`], a serde-backed declaration of sweep axes
-//!   (schemes, L2 sizes/associativities, workload mixes by Table II name
-//!   or explicit benchmark list, seed salts), plus the profiler-level
-//!   [`MissCurveSpec`];
+//!   (schemes, L2 sizes/associativities, workload mixes by Table II name,
+//!   explicit benchmark list or recorded trace container, seed salts),
+//!   plus the profiler-level [`MissCurveSpec`];
 //! * [`expand`] — deterministic expansion of a spec into an ordered list
 //!   of [`ScenarioCase`]s (dedup per axis, case count = product of axis
 //!   lengths, stable index order);

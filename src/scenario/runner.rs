@@ -157,8 +157,15 @@ fn run_case(case: &ScenarioCase, isolation: Arc<IsolationCache>) -> CaseReport {
     let workload = case.to_workload();
     // One execution path whether or not history is wanted: `engine.run`
     // is exactly `system(..).run()`, and keeping the system around is
-    // what lets the controller be read back afterwards.
-    let mut sys = engine.system(&workload);
+    // what lets the controller be read back afterwards. Recorded cases
+    // replay their container; expansion already stream-validated it, so
+    // a failure here is a real I/O race (file touched mid-sweep).
+    let mut sys = match &case.recorded {
+        Some(path) => engine
+            .system_from_trace(path)
+            .unwrap_or_else(|e| panic!("recorded trace `{path}` failed after validation: {e}")),
+        None => engine.system(&workload),
+    };
     let result = sys.run();
     let allocation_history = if case.capture_history {
         sys.controller().map(|c| c.history().to_vec())

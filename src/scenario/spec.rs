@@ -19,35 +19,45 @@
 
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 
-/// One entry of the workload axis: a Table II name (`"2T_05"`) or an
-/// explicit benchmark mix, one per core (`["galgel", "eon"]`).
+/// One entry of the workload axis: a Table II name (`"2T_05"`), an
+/// explicit benchmark mix, one per core (`["galgel", "eon"]`), or a
+/// recorded trace container (`{"recorded": "scenarios/traces/x.pltc"}`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorkloadSel {
     /// A Table II workload by name.
     Named(String),
     /// An ad-hoc mix of benchmark names, one per core.
     Profiles(Vec<String>),
+    /// A trace container recorded by the `trace` bin (or
+    /// [`SimEngine::record_trace`](crate::engine::SimEngine::record_trace));
+    /// the path is resolved relative to the sweep's working directory.
+    Recorded(String),
 }
 
 impl WorkloadSel {
-    /// The display name expansion gives the selection (`"2T_05"` or
-    /// `"galgel+eon"`).
+    /// The display name expansion gives the selection (`"2T_05"`,
+    /// `"galgel+eon"`, or the recorded file's own workload name).
     pub fn display_name(&self) -> String {
         match self {
             WorkloadSel::Named(n) => n.clone(),
             WorkloadSel::Profiles(bs) => bs.join("+"),
+            WorkloadSel::Recorded(path) => format!("rec:{path}"),
         }
     }
 }
 
 // Manual serde impls: the stub derive has no `untagged` support, and the
-// JSON shape (string vs array) is the whole point of the enum.
+// JSON shape (string vs array vs {"recorded": ...} object) is the whole
+// point of the enum.
 impl Serialize for WorkloadSel {
     fn to_value(&self) -> Value {
         match self {
             WorkloadSel::Named(n) => Value::Str(n.clone()),
             WorkloadSel::Profiles(bs) => {
                 Value::Array(bs.iter().map(|b| Value::Str(b.clone())).collect())
+            }
+            WorkloadSel::Recorded(path) => {
+                Value::Object(vec![("recorded".to_string(), Value::Str(path.clone()))])
             }
         }
     }
@@ -58,8 +68,16 @@ impl Deserialize for WorkloadSel {
         match v {
             Value::Str(s) => Ok(WorkloadSel::Named(s.clone())),
             Value::Array(_) => Vec::<String>::from_value(v).map(WorkloadSel::Profiles),
+            Value::Object(_) => match v.field("recorded")? {
+                Value::Str(path) => Ok(WorkloadSel::Recorded(path.clone())),
+                other => Err(SerdeError::new(format!(
+                    "workload object must be {{\"recorded\": \"<path>\"}}, \
+                     found `recorded` of kind {}",
+                    other.kind()
+                ))),
+            },
             other => Err(SerdeError::new(format!(
-                "workload must be a name or a benchmark list, found {}",
+                "workload must be a name, a benchmark list or {{\"recorded\": path}}, found {}",
                 other.kind()
             ))),
         }
@@ -108,7 +126,8 @@ pub struct ScenarioSpec {
     /// Record the controller's per-interval allocation history in each
     /// case report (default: off; only meaningful for CPA schemes).
     pub capture_history: Option<bool>,
-    /// Workload axis: Table II names and/or explicit benchmark mixes.
+    /// Workload axis: Table II names, explicit benchmark mixes, and/or
+    /// recorded trace containers (`{"recorded": "<path>"}`).
     pub workloads: Vec<WorkloadSel>,
     /// Scheme axis: bare replacement policies (`"L"`, `"N"`, `"BT"`,
     /// `"R"`) run unpartitioned; CPA acronyms (`"C-L"`, `"M-L"`,
@@ -170,21 +189,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn workload_sel_round_trips_both_shapes() {
+    fn workload_sel_round_trips_all_shapes() {
         let named = WorkloadSel::Named("2T_05".into());
         let mix = WorkloadSel::Profiles(vec!["galgel".into(), "eon".into()]);
-        for sel in [&named, &mix] {
+        let rec = WorkloadSel::Recorded("scenarios/traces/x.pltc".into());
+        for sel in [&named, &mix, &rec] {
             let json = serde_json::to_string(sel).unwrap();
             assert_eq!(&serde_json::from_str::<WorkloadSel>(&json).unwrap(), sel);
         }
         assert_eq!(named.display_name(), "2T_05");
         assert_eq!(mix.display_name(), "galgel+eon");
+        assert_eq!(rec.display_name(), "rec:scenarios/traces/x.pltc");
     }
 
     #[test]
-    fn workload_sel_rejects_non_string_non_array() {
+    fn recorded_workload_parses_from_object_shape() {
+        let sel: WorkloadSel =
+            serde_json::from_str(r#"{"recorded": "traces/smoke.pltc"}"#).unwrap();
+        assert_eq!(sel, WorkloadSel::Recorded("traces/smoke.pltc".into()));
+    }
+
+    #[test]
+    fn workload_sel_rejects_bad_shapes() {
         assert!(serde_json::from_str::<WorkloadSel>("42").is_err());
         assert!(serde_json::from_str::<WorkloadSel>("[1, 2]").is_err());
+        assert!(serde_json::from_str::<WorkloadSel>(r#"{"recorded": 3}"#).is_err());
+        assert!(serde_json::from_str::<WorkloadSel>(r#"{"other": "x"}"#).is_err());
     }
 
     #[test]
