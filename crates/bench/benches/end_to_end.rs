@@ -3,7 +3,7 @@
 //! performance — the fig* binaries report the latter).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use plru_core::CpaConfig;
+use plru_core::{CpaConfig, Scheme};
 use plru_repro::SimEngine;
 use tracegen::workload;
 
@@ -17,7 +17,9 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.sample_size(10);
 
     for cpa in CpaConfig::figure7_set() {
-        let engine = quick().cpa(cpa.clone()).build();
+        let engine = quick()
+            .scheme(Scheme::partitioned(cpa.clone()).unwrap())
+            .build();
         group.bench_function(cpa.acronym(), |b| b.iter(|| black_box(engine.run(&wl))));
     }
     for policy in [
@@ -25,7 +27,7 @@ fn bench_end_to_end(c: &mut Criterion) {
         cachesim::PolicyKind::Nru,
         cachesim::PolicyKind::Bt,
     ] {
-        let engine = quick().policy(policy).build();
+        let engine = quick().scheme(Scheme::bare(policy)).build();
         group.bench_function(format!("unpartitioned_{policy:?}"), |b| {
             b.iter(|| black_box(engine.run(&wl)))
         });

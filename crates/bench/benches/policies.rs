@@ -49,12 +49,7 @@ fn cache_for(policy: PolicyKind, num_cores: usize) -> Cache {
     })
 }
 
-const ALL_POLICIES: [PolicyKind; 4] = [
-    PolicyKind::Lru,
-    PolicyKind::Nru,
-    PolicyKind::Bt,
-    PolicyKind::Random,
-];
+const ALL_POLICIES: [PolicyKind; 5] = PolicyKind::ALL;
 
 fn bench_policy_access(c: &mut Criterion) {
     let accesses = access_stream(8192, 1);

@@ -17,13 +17,15 @@ use cmpsim::metrics::mean;
 use plru_bench::experiments::{engine, machine};
 use plru_bench::table::ratio;
 use plru_bench::{Options, TextTable};
-use plru_core::{CpaConfig, NruUpdateMode, Objective, Selector};
+use plru_core::{CpaConfig, NruUpdateMode, Objective, Scheme, Selector};
 use plru_repro::engine::parallel_map;
 use tracegen::workloads_with_threads;
 
 fn mean_rel_throughput(opts: &Options, cpa: &CpaConfig, quick: bool) -> f64 {
-    let base = engine(2, opts).policy(cpa.policy).build();
-    let part = engine(2, opts).cpa(cpa.clone()).build();
+    let base = engine(2, opts).scheme(Scheme::bare(cpa.policy)).build();
+    let part = engine(2, opts)
+        .scheme(Scheme::partitioned(cpa.clone()).unwrap())
+        .build();
     let mut wls = workloads_with_threads(2);
     if quick {
         wls.truncate(6);
@@ -119,7 +121,7 @@ fn main() {
         cfg.latencies.l1_miss = l1_miss;
         let eng = plru_repro::SimEngine::builder()
             .machine(cfg)
-            .policy(policy)
+            .scheme(Scheme::bare(policy))
             .build();
         let thrs: Vec<f64> = parallel_map(&wls, |wl| cmpsim::throughput(&eng.run(wl).ipcs()));
         mean(&thrs)

@@ -327,7 +327,7 @@ pub fn fig8_spec(opts: &Options) -> ScenarioSpec {
             .into_iter()
             .map(|w| WorkloadSel::Named(w.name))
             .collect(),
-        schemes,
+        schemes: schemes.into(),
         l2_sizes: Some(FIG8_SIZES.to_vec()),
         ..Default::default()
     }
@@ -411,7 +411,10 @@ mod tests {
     fn activity_sums_cores() {
         let o = quick_opts();
         let wl = tracegen::workload("2T_21").unwrap();
-        let r = engine(2, &o).policy(PolicyKind::Lru).build().run(&wl);
+        let r = engine(2, &o)
+            .scheme(plru_core::Scheme::bare(PolicyKind::Lru))
+            .build()
+            .run(&wl);
         let a = activity_of(&r, 2, o.insts);
         assert_eq!(a.insts, 80_000);
         assert_eq!(
@@ -449,14 +452,18 @@ mod tests {
         o.quick = false;
         let spec = fig7_spec(&o);
         assert_eq!(spec.workloads.len(), 49);
-        assert_eq!(spec.schemes.len(), 6);
-        assert_eq!(spec.schemes[0], "C-L");
+        let schemes = spec.schemes.as_list().unwrap();
+        assert_eq!(schemes.len(), 6);
+        assert_eq!(schemes[0], "C-L");
     }
 
     #[test]
     fn fig8_quick_spec_pairs_each_cpa_with_its_baseline() {
         let spec = fig8_spec(&quick_opts());
-        assert_eq!(spec.schemes, vec!["L", "M-L", "N", "M-0.75N", "BT", "M-BT"]);
+        assert_eq!(
+            spec.schemes.as_list().unwrap(),
+            ["L", "M-L", "N", "M-0.75N", "BT", "M-BT"]
+        );
         assert_eq!(spec.l2_sizes.as_deref(), Some(&FIG8_SIZES[..]));
         let cases = spec.expand().unwrap();
         assert_eq!(cases.len(), 4 * 6 * 3);

@@ -450,6 +450,7 @@ impl Cache {
             PolicyState::Nru(p) => access_one(&mut planes, p, core, addr, write),
             PolicyState::Bt(p) => access_one(&mut planes, p, core, addr, write),
             PolicyState::Random(p) => access_one(&mut planes, p, core, addr, write),
+            PolicyState::Fifo(p) => access_one(&mut planes, p, core, addr, write),
         }
     }
 
@@ -487,6 +488,7 @@ impl Cache {
             PolicyState::Nru(p) => run_batch(&mut planes, p, accesses, batch, None),
             PolicyState::Bt(p) => run_batch(&mut planes, p, accesses, batch, None),
             PolicyState::Random(p) => run_batch(&mut planes, p, accesses, batch, None),
+            PolicyState::Fifo(p) => run_batch(&mut planes, p, accesses, batch, None),
         }
     }
 
@@ -505,6 +507,7 @@ impl Cache {
             PolicyState::Nru(p) => run_batch(&mut planes, p, accesses, batch, Some(misses)),
             PolicyState::Bt(p) => run_batch(&mut planes, p, accesses, batch, Some(misses)),
             PolicyState::Random(p) => run_batch(&mut planes, p, accesses, batch, Some(misses)),
+            PolicyState::Fifo(p) => run_batch(&mut planes, p, accesses, batch, Some(misses)),
         }
     }
 }
@@ -692,6 +695,24 @@ mod tests {
         assert!(c.probe(a).is_some());
         assert!(c.probe(addr_in_set(&c, 0, 1)).is_none());
         assert_eq!(c.stats(), &stats_before);
+    }
+
+    #[test]
+    fn fifo_evicts_in_fill_order_ignoring_hits() {
+        let mut c = small(PolicyKind::Fifo, 1);
+        for n in 0..4 {
+            c.access(0, addr_in_set(&c, 0, n), false);
+        }
+        // Re-touch line 0: FIFO must NOT protect it — the oldest fill
+        // (line 0, way 0) is still the next victim.
+        assert!(c.access(0, addr_in_set(&c, 0, 0), false).hit);
+        let out = c.access(0, addr_in_set(&c, 0, 4), false);
+        let (evicted, _) = out.evicted.unwrap();
+        assert_eq!(evicted, c.geometry().line_addr(addr_in_set(&c, 0, 0)));
+        // And the next eviction takes the second-oldest fill.
+        let out = c.access(0, addr_in_set(&c, 0, 5), false);
+        let (evicted, _) = out.evicted.unwrap();
+        assert_eq!(evicted, c.geometry().line_addr(addr_in_set(&c, 0, 1)));
     }
 
     #[test]

@@ -10,7 +10,8 @@
 //!   * [`policy::Nru`] — the *Not Recently Used* used-bit scheme of the Sun
 //!     UltraSPARC T2, with the single cache-global replacement pointer,
 //!   * [`policy::Bt`] — IBM's *Binary Tree* pseudo-LRU,
-//!   * plus a seeded [`policy::RandomRepl`] reference policy,
+//!   * plus two reference policies: a seeded [`policy::RandomRepl`] and a
+//!     recency-blind [`policy::Fifo`],
 //! * way-level partition **enforcement** in the three flavours the paper
 //!   evaluates ([`Enforcement`]): per-set owner counters (`C`), global
 //!   replacement way-masks (`M`), and BT up/down override vectors,

@@ -1,5 +1,5 @@
 //! Replacement policies: true LRU, NRU (UltraSPARC T2), Binary-Tree
-//! pseudo-LRU (IBM), and a seeded random reference policy.
+//! pseudo-LRU (IBM), and two reference policies — seeded random and FIFO.
 //!
 //! Each policy owns exactly the per-set replacement state the paper's
 //! Table I accounts for:
@@ -9,17 +9,20 @@
 //! | LRU    | `A * log2(A)` bits (ranks)     | —                             |
 //! | NRU    | `A` used bits                  | one `log2(A)`-bit repl pointer|
 //! | BT     | `A - 1` tree bits              | per-core up/down vectors      |
+//! | FIFO   | one `log2(A)`-bit fill pointer | —                             |
 //!
 //! The policies expose their raw state (`stack_position`, `used_bits`,
 //! `path_bits`, …) because the paper's *profiling logics* read exactly that
 //! state out of the Auxiliary Tag Directory.
 
 mod bt;
+mod fifo;
 mod lru;
 mod nru;
 mod random;
 
 pub use bt::{Bt, BtVectors};
+pub use fifo::Fifo;
 pub use lru::Lru;
 pub use nru::Nru;
 pub use random::RandomRepl;
@@ -41,16 +44,29 @@ pub enum PolicyKind {
     /// Uniform-random victim selection (reference; the paper notes NRU
     /// behaves "random-like" because of the shared pointer).
     Random,
+    /// First-In First-Out via a per-set fill pointer (reference;
+    /// recency-blind counterpart to the pseudo-LRU schemes).
+    Fifo,
 }
 
 impl PolicyKind {
-    /// Short name used in config acronyms (`L`, `N`, `BT`, `R`).
+    /// Every registered replacement policy, in registry order.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::Lru,
+        PolicyKind::Nru,
+        PolicyKind::Bt,
+        PolicyKind::Random,
+        PolicyKind::Fifo,
+    ];
+
+    /// Short name used in config acronyms (`L`, `N`, `BT`, `R`, `F`).
     pub fn acronym(self) -> &'static str {
         match self {
             PolicyKind::Lru => "L",
             PolicyKind::Nru => "N",
             PolicyKind::Bt => "BT",
             PolicyKind::Random => "R",
+            PolicyKind::Fifo => "F",
         }
     }
 
@@ -86,6 +102,8 @@ pub enum PolicyState {
     Bt(Bt),
     /// Random-replacement state.
     Random(RandomRepl),
+    /// FIFO state.
+    Fifo(Fifo),
 }
 
 impl PolicyState {
@@ -98,6 +116,7 @@ impl PolicyState {
             PolicyKind::Nru => PolicyState::Nru(Nru::new(num_sets, assoc)),
             PolicyKind::Bt => PolicyState::Bt(Bt::new(num_sets, assoc)),
             PolicyKind::Random => PolicyState::Random(RandomRepl::new(num_sets, assoc, seed)),
+            PolicyKind::Fifo => PolicyState::Fifo(Fifo::new(num_sets, assoc)),
         }
     }
 
@@ -108,6 +127,7 @@ impl PolicyState {
             PolicyState::Nru(_) => PolicyKind::Nru,
             PolicyState::Bt(_) => PolicyKind::Bt,
             PolicyState::Random(_) => PolicyKind::Random,
+            PolicyState::Fifo(_) => PolicyKind::Fifo,
         }
     }
 
@@ -124,7 +144,7 @@ impl PolicyState {
             PolicyState::Lru(p) => p.on_access(set, way),
             PolicyState::Nru(p) => p.on_access(set, way, scope),
             PolicyState::Bt(p) => p.on_access(set, way),
-            PolicyState::Random(_) => {}
+            PolicyState::Random(_) | PolicyState::Fifo(_) => {}
         }
     }
 
@@ -138,6 +158,7 @@ impl PolicyState {
             PolicyState::Nru(p) => p.victim(set, allowed),
             PolicyState::Bt(p) => p.victim_masked(set, allowed),
             PolicyState::Random(p) => p.victim(set, allowed),
+            PolicyState::Fifo(p) => p.victim(set, allowed),
         }
     }
 
@@ -148,6 +169,7 @@ impl PolicyState {
             PolicyState::Nru(p) => p.reset(),
             PolicyState::Bt(p) => p.reset(),
             PolicyState::Random(p) => p.reset(),
+            PolicyState::Fifo(p) => p.reset(),
         }
     }
 }
@@ -221,6 +243,16 @@ impl ReplKernel for RandomRepl {
     }
 }
 
+impl ReplKernel for Fifo {
+    #[inline(always)]
+    fn touch(&mut self, _set: usize, _way: usize, _scope: WayMask) {}
+
+    #[inline(always)]
+    fn pick(&mut self, set: usize, allowed: WayMask, _vectors: Option<BtVectors>) -> usize {
+        self.victim(set, allowed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,12 +271,7 @@ mod tests {
 
     #[test]
     fn zero_and_oversized_assoc_rejected_for_all() {
-        for k in [
-            PolicyKind::Lru,
-            PolicyKind::Nru,
-            PolicyKind::Bt,
-            PolicyKind::Random,
-        ] {
+        for k in PolicyKind::ALL {
             assert!(k.validate_assoc(0).is_err());
             assert!(k.validate_assoc(33).is_err());
         }
@@ -261,12 +288,7 @@ mod tests {
     fn every_policy_yields_victims_within_mask() {
         let assoc = 16;
         let mask = WayMask::contiguous(4, 4);
-        for kind in [
-            PolicyKind::Lru,
-            PolicyKind::Nru,
-            PolicyKind::Bt,
-            PolicyKind::Random,
-        ] {
+        for kind in PolicyKind::ALL {
             let mut s = PolicyState::new(kind, 8, assoc, 7);
             // Touch every way once so state is non-trivial.
             for w in 0..assoc {

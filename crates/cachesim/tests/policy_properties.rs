@@ -1,7 +1,7 @@
 //! Property-based tests of the replacement-policy state machines, and of
 //! the batched access kernel against the scalar oracle.
 
-use cachesim::policy::{Bt, BtVectors, Lru, Nru};
+use cachesim::policy::{Bt, BtVectors, Fifo, Lru, Nru};
 use cachesim::{
     Access, BatchStats, Cache, CacheConfig, CacheGeometry, Enforcement, PolicyKind, WayMask,
 };
@@ -172,6 +172,25 @@ proptest! {
         prop_assert_eq!(bt.victim_vectors(0, vec), bt.victim_masked(0, m));
     }
 
+    /// FIFO victims stay within any mask, the pointer always lands one
+    /// way past the victim, and a run of full-mask selections walks the
+    /// ways in cyclic (fill) order — genuine FIFO.
+    #[test]
+    fn fifo_victims_cycle_and_respect_masks(
+        masks in proptest::collection::vec(mask(), 1..300),
+    ) {
+        let mut f = Fifo::new(1, ASSOC);
+        for &m in &masks {
+            let before = f.pointer(0);
+            let v = f.victim(0, m);
+            prop_assert!(m.contains(v));
+            prop_assert_eq!(f.pointer(0), (v + 1) % ASSOC);
+            if m == WayMask::full(ASSOC) {
+                prop_assert_eq!(v, before, "full mask evicts exactly at the pointer");
+            }
+        }
+    }
+
     /// BT path-bit estimation bounds: `A - (path XOR id)` is always in
     /// `[1, A]`, and equals 1 right after the way is accessed.
     #[test]
@@ -192,13 +211,9 @@ proptest! {
     }
 }
 
-/// All four policies, indexed so the stub's range strategies can pick one.
-const POLICIES: [PolicyKind; 4] = [
-    PolicyKind::Lru,
-    PolicyKind::Nru,
-    PolicyKind::Bt,
-    PolicyKind::Random,
-];
+/// All registered policies, indexed so the stub's range strategies can
+/// pick one.
+const POLICIES: [PolicyKind; 5] = PolicyKind::ALL;
 
 /// A small 4-set x 16-way cache shared by the equivalence properties.
 fn small_cache(policy: PolicyKind, num_cores: usize) -> Cache {
@@ -235,7 +250,7 @@ proptest! {
     /// policy, with and without partition masks, at any batch boundary.
     #[test]
     fn batched_kernel_equals_scalar_oracle(
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..POLICIES.len(),
         enf_choice in 0usize..3,
         ops in proptest::collection::vec(
             (0usize..2, 0u64..512, 0usize..8),
@@ -292,7 +307,7 @@ proptest! {
     /// carries no per-batch state).
     #[test]
     fn batch_boundaries_are_invisible(
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..POLICIES.len(),
         ops in proptest::collection::vec((0u64..256, 0usize..8), 1..200),
         split in 0usize..200,
     ) {

@@ -16,13 +16,14 @@
 //!
 //! ```
 //! use cmpsim::{MachineConfig, System};
-//! use cachesim::PolicyKind;
+//! use plru_core::Scheme;
 //! use tracegen::workload;
 //!
 //! let mut cfg = MachineConfig::paper_baseline(2);
 //! cfg.insts_target = 50_000; // keep the doctest fast
 //! let wl = workload("2T_21").unwrap();
-//! let mut sys = System::from_workload(&cfg, &wl, PolicyKind::Lru, None, 1);
+//! let scheme: Scheme = "L".parse().unwrap();
+//! let mut sys = System::from_workload_scheme(&cfg, &wl, &scheme, 1);
 //! let result = sys.run();
 //! assert!(result.ipc(0) > 0.0);
 //! ```

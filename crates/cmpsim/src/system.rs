@@ -4,7 +4,7 @@ use crate::config::MachineConfig;
 use crate::core_model::CoreModel;
 use cachesim::hierarchy::{BatchScratch, Hierarchy, MemLevel};
 use cachesim::{CacheStats, PolicyKind};
-use plru_core::{CpaConfig, CpaController};
+use plru_core::{CpaConfig, CpaController, Scheme};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use tracegen::trace::{self, TraceError};
@@ -59,6 +59,25 @@ impl SimResult {
     }
 }
 
+/// Reconcile the legacy `(l2_policy, Option<CpaConfig>)` pair into a
+/// [`Scheme`], enforcing the invariants `Scheme` carries by construction.
+///
+/// # Panics
+/// If the CPA's profiling policy differs from the L2 policy (the paper
+/// never mixes them) or the combination is not registry-valid.
+fn pair_scheme(l2_policy: PolicyKind, cpa: Option<CpaConfig>) -> Scheme {
+    match cpa {
+        Some(c) => {
+            assert_eq!(
+                c.policy, l2_policy,
+                "the paper always pairs the profiling policy with the L2 policy"
+            );
+            Scheme::partitioned(c).expect("CPA configuration must be registry-valid")
+        }
+        None => Scheme::bare(l2_policy),
+    }
+}
+
 /// A runnable CMP system.
 pub struct System {
     cfg: MachineConfig,
@@ -86,15 +105,14 @@ impl System {
     }
 
     /// Build a system running one benchmark per core from live trace
-    /// generators.
+    /// generators, under a [`Scheme`] (bare policy or policy + CPA).
     ///
     /// `seed_salt` perturbs the per-core trace seeds so repeated instances
     /// of the same benchmark (e.g. facerec twice in `8T_04`) diverge.
-    pub fn from_profiles(
+    pub fn from_profiles_scheme(
         cfg: &MachineConfig,
         profiles: &[BenchmarkProfile],
-        l2_policy: PolicyKind,
-        cpa: Option<CpaConfig>,
+        scheme: &Scheme,
         seed_salt: u64,
     ) -> Self {
         let sources: Vec<Box<dyn TraceSource>> = profiles
@@ -107,19 +125,35 @@ impl System {
                 )) as Box<dyn TraceSource>
             })
             .collect();
-        Self::from_sources(cfg, profiles, sources, l2_policy, cpa, seed_salt)
+        Self::from_sources_scheme(cfg, profiles, sources, scheme, seed_salt)
+    }
+
+    /// Policy-and-CPA-pair variant of [`System::from_profiles_scheme`] —
+    /// the pre-`Scheme` calling convention.
+    pub fn from_profiles(
+        cfg: &MachineConfig,
+        profiles: &[BenchmarkProfile],
+        l2_policy: PolicyKind,
+        cpa: Option<CpaConfig>,
+        seed_salt: u64,
+    ) -> Self {
+        Self::from_profiles_scheme(cfg, profiles, &pair_scheme(l2_policy, cpa), seed_salt)
     }
 
     /// Build a system over explicit per-core [`TraceSource`]s — the
     /// extension point behind live synthesis, trace capture and trace
     /// replay. `profiles` supply only the per-core timing model; the
     /// memory-access streams come from `sources`.
-    pub fn from_sources(
+    ///
+    /// The [`Scheme`] carries the whole replacement/partitioning
+    /// configuration; its construction already guaranteed that the CPA's
+    /// profiling policy matches the L2 policy and that the policy supports
+    /// the enforcement style.
+    pub fn from_sources_scheme(
         cfg: &MachineConfig,
         profiles: &[BenchmarkProfile],
         sources: Vec<Box<dyn TraceSource>>,
-        l2_policy: PolicyKind,
-        cpa: Option<CpaConfig>,
+        scheme: &Scheme,
         seed_salt: u64,
     ) -> Self {
         assert_eq!(profiles.len(), cfg.num_cores, "one benchmark per core");
@@ -129,15 +163,11 @@ impl System {
             cfg.l1i,
             cfg.l1d,
             cfg.l2,
-            l2_policy,
+            scheme.policy(),
             cfg.seed ^ seed_salt,
         );
-        let controller = cpa.map(|c| {
-            assert_eq!(
-                c.policy, l2_policy,
-                "the paper always pairs the profiling policy with the L2 policy"
-            );
-            let ctl = CpaController::new(c, cfg.l2, cfg.num_cores);
+        let controller = scheme.cpa().map(|c| {
+            let ctl = CpaController::new(c.clone(), cfg.l2, cfg.num_cores);
             hierarchy.l2.set_enforcement(ctl.initial_enforcement());
             ctl
         });
@@ -164,7 +194,37 @@ impl System {
         }
     }
 
+    /// Policy-and-CPA-pair variant of [`System::from_sources_scheme`] —
+    /// the pre-`Scheme` calling convention.
+    pub fn from_sources(
+        cfg: &MachineConfig,
+        profiles: &[BenchmarkProfile],
+        sources: Vec<Box<dyn TraceSource>>,
+        l2_policy: PolicyKind,
+        cpa: Option<CpaConfig>,
+        seed_salt: u64,
+    ) -> Self {
+        Self::from_sources_scheme(
+            cfg,
+            profiles,
+            sources,
+            &pair_scheme(l2_policy, cpa),
+            seed_salt,
+        )
+    }
+
+    /// Build from a Table II workload under a [`Scheme`].
+    pub fn from_workload_scheme(
+        cfg: &MachineConfig,
+        workload: &Workload,
+        scheme: &Scheme,
+        seed_salt: u64,
+    ) -> Self {
+        Self::from_profiles_scheme(cfg, &workload.profiles(), scheme, seed_salt)
+    }
+
     /// Build from a Table II workload.
+    #[deprecated(note = "use `System::from_workload_scheme` with a `plru_core::Scheme`")]
     pub fn from_workload(
         cfg: &MachineConfig,
         workload: &Workload,
@@ -172,12 +232,12 @@ impl System {
         cpa: Option<CpaConfig>,
         seed_salt: u64,
     ) -> Self {
-        Self::from_profiles(cfg, &workload.profiles(), l2_policy, cpa, seed_salt)
+        Self::from_workload_scheme(cfg, workload, &pair_scheme(l2_policy, cpa), seed_salt)
     }
 
     /// Build a system replaying a recorded trace container (see
-    /// [`tracegen::trace`]): per-core streams come from the file, the
-    /// timing model from the profiles named in its metadata.
+    /// [`tracegen::trace`]) under a [`Scheme`]: per-core streams come from
+    /// the file, the timing model from the profiles named in its metadata.
     ///
     /// Errors if the file is unreadable or malformed, if its thread count
     /// differs from `cfg.num_cores`, or if a recorded benchmark name no
@@ -185,11 +245,10 @@ impl System {
     /// replay's instruction target does not exceed the recorded one
     /// ([`tracegen::trace::TraceMeta::insts`]) — an exhausted stream
     /// panics mid-run.
-    pub fn from_trace(
+    pub fn from_trace_scheme(
         cfg: &MachineConfig,
         path: impl AsRef<Path>,
-        l2_policy: PolicyKind,
-        cpa: Option<CpaConfig>,
+        scheme: &Scheme,
         seed_salt: u64,
     ) -> Result<Self, TraceError> {
         let path = path.as_ref();
@@ -215,9 +274,21 @@ impl System {
                 })
             })
             .collect::<Result<_, _>>()?;
-        Ok(Self::from_sources(
-            cfg, &profiles, sources, l2_policy, cpa, seed_salt,
+        Ok(Self::from_sources_scheme(
+            cfg, &profiles, sources, scheme, seed_salt,
         ))
+    }
+
+    /// Policy-and-CPA-pair variant of [`System::from_trace_scheme`] — the
+    /// pre-`Scheme` calling convention.
+    pub fn from_trace(
+        cfg: &MachineConfig,
+        path: impl AsRef<Path>,
+        l2_policy: PolicyKind,
+        cpa: Option<CpaConfig>,
+        seed_salt: u64,
+    ) -> Result<Self, TraceError> {
+        Self::from_trace_scheme(cfg, path, &pair_scheme(l2_policy, cpa), seed_salt)
     }
 
     fn penalty(&self, level: MemLevel) -> u64 {
@@ -374,7 +445,7 @@ mod tests {
         let cfg = quick_cfg(2);
         let wl = workload("2T_01").unwrap();
         let run = || {
-            let mut s = System::from_workload(&cfg, &wl, PolicyKind::Nru, None, 7);
+            let mut s = System::from_workload_scheme(&cfg, &wl, &Scheme::bare(PolicyKind::Nru), 7);
             s.run()
         };
         let a = run();
@@ -407,7 +478,8 @@ mod tests {
         let mut cpa = CpaConfig::m_l();
         cpa.interval_cycles = 50_000; // several intervals in a short run
         let wl = workload("2T_02").unwrap(); // mcf + parser
-        let mut sys = System::from_workload(&cfg, &wl, PolicyKind::Lru, Some(cpa), 5);
+        let scheme = Scheme::partitioned(cpa).unwrap();
+        let mut sys = System::from_workload_scheme(&cfg, &wl, &scheme, 5);
         let r = sys.run();
         assert!(
             r.intervals >= 2,
@@ -423,8 +495,15 @@ mod tests {
     fn mismatched_cpa_policy_panics() {
         let cfg = quick_cfg(2);
         let wl = workload("2T_01").unwrap();
-        // NRU profiler on an LRU L2 — the paper never mixes them.
-        let _ = System::from_workload(&cfg, &wl, PolicyKind::Lru, Some(CpaConfig::m_nru(0.75)), 1);
+        // NRU profiler on an LRU L2 — the paper never mixes them; the
+        // legacy pair constructors still reject the combination.
+        let _ = System::from_profiles(
+            &cfg,
+            &wl.profiles(),
+            PolicyKind::Lru,
+            Some(CpaConfig::m_nru(0.75)),
+            1,
+        );
     }
 
     #[test]
@@ -432,7 +511,7 @@ mod tests {
         let mut cfg = quick_cfg(8);
         cfg.insts_target = 20_000;
         let wl = workload("8T_01").unwrap();
-        let mut sys = System::from_workload(&cfg, &wl, PolicyKind::Bt, None, 2);
+        let mut sys = System::from_workload_scheme(&cfg, &wl, &Scheme::bare(PolicyKind::Bt), 2);
         let r = sys.run();
         assert_eq!(r.cores.len(), 8);
         assert!(r.ipcs().iter().all(|&i| i > 0.0));
@@ -446,7 +525,8 @@ mod tests {
         let cfg = quick_cfg(2);
         let wl = workload("2T_02").unwrap(); // mcf + parser
         let salt = 3u64;
-        let live = System::from_workload(&cfg, &wl, PolicyKind::Lru, None, salt).run();
+        let live =
+            System::from_workload_scheme(&cfg, &wl, &Scheme::bare(PolicyKind::Lru), salt).run();
 
         // Capture: same run, records tee'd into a container.
         let path = std::env::temp_dir().join("plru_system_capture_test.pltc");

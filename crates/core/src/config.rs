@@ -176,38 +176,16 @@ impl CpaConfig {
             PolicyKind::Bt => format!("{enf}-BT"),
             PolicyKind::Nru => format!("{enf}-{}N", format_scale(self.nru_scale)),
             PolicyKind::Random => format!("{enf}-R"),
+            PolicyKind::Fifo => format!("{enf}-F"),
         }
     }
 
-    /// Parse a paper-style acronym.
+    /// Parse a paper-style acronym. Thin wrapper over the single scheme
+    /// grammar ([`crate::scheme::Scheme`]); `None` for bare policies and
+    /// invalid combinations alike — parse a `Scheme` instead when the
+    /// error message matters.
     pub fn from_acronym(s: &str) -> Option<CpaConfig> {
-        let (enf_s, rest) = s.split_once('-')?;
-        let enforcement = match enf_s {
-            "C" => EnforcementStyle::OwnerCounters,
-            "M" => EnforcementStyle::Masks,
-            _ => return None,
-        };
-        match rest {
-            "L" => Some(CpaConfig {
-                enforcement,
-                ..Self::c_l()
-            }),
-            "BT" => Some(CpaConfig {
-                enforcement,
-                ..Self::m_bt()
-            }),
-            nru if nru.ends_with('N') => {
-                let scale: f64 = nru[..nru.len() - 1].parse().ok()?;
-                if !(scale > 0.0 && scale <= 1.0) {
-                    return None;
-                }
-                Some(CpaConfig {
-                    enforcement,
-                    ..Self::m_nru(scale)
-                })
-            }
-            _ => None,
-        }
+        s.parse::<crate::scheme::Scheme>().ok()?.cpa().cloned()
     }
 }
 

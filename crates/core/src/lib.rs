@@ -31,6 +31,13 @@
 //!
 //! Configurations are named with the paper's acronyms ([`config::CpaConfig`]):
 //! `C-L`, `M-L`, `M-1.0N`, `M-0.75N`, `M-0.5N`, `M-BT`.
+//!
+//! The policy × partitioning cross-product itself is a first-class value:
+//! [`scheme::Scheme`] pairs a replacement policy with an optional CPA
+//! configuration behind one canonical acronym grammar and a capability
+//! registry ([`scheme::registry`]) — the configuration currency every
+//! layer above this crate (engine, scenario specs, trace metadata, CLIs)
+//! trades in.
 
 pub mod atd;
 pub mod config;
@@ -38,10 +45,12 @@ pub mod controller;
 pub mod enforce;
 pub mod minmisses;
 pub mod profiler;
+pub mod scheme;
 pub mod sdh;
 
 pub use config::{CpaConfig, EnforcementStyle, NruUpdateMode, Objective, Selector};
 pub use controller::CpaController;
 pub use minmisses::{fairness_minimax, min_misses_dp, min_misses_greedy};
 pub use profiler::{BtProfiler, LruProfiler, NruProfiler, Profiler, ProfilerState};
+pub use scheme::{PolicyEntry, Scheme, SchemeError};
 pub use sdh::Sdh;

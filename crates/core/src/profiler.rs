@@ -353,7 +353,12 @@ impl ProfilerState {
                 ProfilerState::Nru(NruProfiler::new(geom, sample_ratio, nru_scale, nru_mode))
             }
             PolicyKind::Bt => ProfilerState::Bt(BtProfiler::new(geom, sample_ratio)),
-            PolicyKind::Random => panic!("no profiling logic exists for random replacement"),
+            PolicyKind::Random | PolicyKind::Fifo => panic!(
+                "no profiling logic exists for {} replacement \
+                 (the scheme registry rejects partitioned {} at parse time)",
+                kind.acronym(),
+                kind.acronym()
+            ),
         }
     }
 }

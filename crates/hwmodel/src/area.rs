@@ -12,7 +12,7 @@ pub fn atd_line_meta_bits(policy: PolicyKind, params: &CacheParams) -> u64 {
         PolicyKind::Nru => 1,
         // A-1 tree bits per *set*, amortised here as ~1 bit/line.
         PolicyKind::Bt => 1,
-        PolicyKind::Random => 0,
+        PolicyKind::Random | PolicyKind::Fifo => 0,
     }
 }
 

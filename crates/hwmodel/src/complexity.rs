@@ -121,6 +121,11 @@ pub fn replacement_costs(
             bits_per_set: 0,
             global_bits: 0,
         },
+        // FIFO: one log2(A)-bit fill pointer per set (reference).
+        PolicyKind::Fifo => ReplacementCosts {
+            bits_per_set: lg,
+            global_bits: 0,
+        },
     }
 }
 
@@ -170,6 +175,15 @@ pub fn event_costs(policy: PolicyKind, p: &CacheParams) -> EventCosts {
             hit_data_bits: line_bits,
             profiling_bits: 0,
         },
+        PolicyKind::Fifo => EventCosts {
+            tag_compare_bits: tag,
+            // A fill rotates the set's log2(A)-bit pointer; hits touch
+            // nothing.
+            update_unpartitioned_bits: lg,
+            update_partitioned_bits: n * a + lg,
+            hit_data_bits: line_bits,
+            profiling_bits: 0,
+        },
     }
 }
 
@@ -206,6 +220,7 @@ impl ComplexityTable {
                     PolicyKind::Nru => "NRU".into(),
                     PolicyKind::Bt => "BT".into(),
                     PolicyKind::Random => "Random".into(),
+                    PolicyKind::Fifo => "FIFO".into(),
                 },
                 storage_plain: replacement_costs(k, &params, false),
                 storage_partitioned: replacement_costs(k, &params, true),

@@ -29,7 +29,7 @@ fn main() {
     let engine = SimEngine::builder()
         .cores(2)
         .insts(300_000)
-        .cpa(CpaConfig::m_nru(0.75))
+        .scheme(Scheme::partitioned(CpaConfig::m_nru(0.75)).unwrap())
         .build();
     let wl = workload("2T_02").unwrap();
     let r = engine.run(&wl);

@@ -28,14 +28,14 @@ fn main() {
         (
             "non-partitioned NRU",
             base.clone()
-                .policy(PolicyKind::Nru)
+                .scheme(Scheme::bare(PolicyKind::Nru))
                 .isolation(iso.clone())
                 .build(),
         ),
         (
             "M-0.75N dynamic CPA",
             base.clone()
-                .cpa(CpaConfig::m_nru(0.75))
+                .scheme(Scheme::partitioned(CpaConfig::m_nru(0.75)).unwrap())
                 .isolation(iso.clone())
                 .build(),
         ),

@@ -5,11 +5,16 @@
 //! cargo run --release --bin sweep -- scenarios/smoke_2t.json
 //! cargo run --release --bin sweep -- scenarios/fig8_quick.json --threads 8 --json out.json
 //! cargo run --release --bin sweep -- scenarios/miss_curves.json
+//! cargo run --release --bin sweep -- --list-schemes
 //! ```
 //!
 //! Specs with `"kind": "miss_curves"` run the profiler comparison instead
 //! of a simulation sweep; everything else is a [`ScenarioSpec`].
+//! `--list-schemes` dumps the scheme registry: every replacement policy
+//! with its capability flags, and the baseline scheme set the
+//! `"schemes": "all"` shorthand expands to.
 
+use plru_core::scheme;
 use plru_repro::prelude::*;
 use serde::Deserialize;
 use std::process::exit;
@@ -30,22 +35,62 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: sweep <spec.json> [--threads N] [--json PATH]\n\
+         \u{20}      sweep --list-schemes\n\
          \n\
-         <spec.json>   scenario spec (see scenarios/ and docs/SCENARIOS.md\n\
-         \u{20}             for the schema, including recorded workloads)\n\
-         --threads N   worker count (default: all hardware threads)\n\
-         --json PATH   also write the full report as pretty JSON"
+         <spec.json>     scenario spec (see scenarios/ and docs/SCENARIOS.md\n\
+         \u{20}               for the schema, including recorded workloads)\n\
+         --threads N     worker count (default: all hardware threads)\n\
+         --json PATH     also write the full report as pretty JSON\n\
+         --list-schemes  print the scheme registry (policies, capability\n\
+         \u{20}               flags, and the `\"schemes\": \"all\"` baseline set)"
     );
     exit(2);
+}
+
+/// Dump the scheme registry: the policy table with capability flags, then
+/// the baseline scheme enumeration `"schemes": "all"` expands to.
+fn list_schemes() {
+    println!("registered replacement policies:");
+    let (acr, policy, part) = ("acr", "policy", "partitioning");
+    println!("  {acr:<3} {policy:<22} {part:<13} summary");
+    for e in scheme::registry() {
+        let styles = if e.enforcements.is_empty() {
+            "bare only".to_string()
+        } else {
+            let mut tags: Vec<&str> = Vec::new();
+            for style in e.enforcements {
+                tags.push(match style {
+                    plru_core::EnforcementStyle::OwnerCounters => "C",
+                    plru_core::EnforcementStyle::Masks => "M",
+                });
+            }
+            format!(
+                "{}{}",
+                tags.join(", "),
+                if e.scaled { " (scaled)" } else { "" }
+            )
+        };
+        println!(
+            "  {:<3} {:<22} {:<13} {}",
+            e.acronym, e.name, styles, e.summary
+        );
+    }
+    println!();
+    println!("baseline schemes (`\"schemes\": \"all\"` expands to these, in order):");
+    let all = Scheme::all_baseline();
+    let acronyms: Vec<String> = all.iter().map(ToString::to_string).collect();
+    println!("  {}", acronyms.join(", "));
 }
 
 fn parse_args() -> Args {
     let mut spec_path = None;
     let mut threads = None;
     let mut json = None;
+    let mut list = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--list-schemes" => list = true,
             "--threads" => {
                 threads = Some(
                     it.next()
@@ -66,6 +111,16 @@ fn parse_args() -> Args {
                 }
             }
         }
+    }
+    if list {
+        // Refuse to silently discard other work: a caller passing a spec
+        // alongside --list-schemes almost certainly expected a sweep.
+        if spec_path.is_some() || threads.is_some() || json.is_some() {
+            eprintln!("--list-schemes takes no spec or other options");
+            usage();
+        }
+        list_schemes();
+        exit(0);
     }
     Args {
         spec_path: spec_path.unwrap_or_else(|| usage()),

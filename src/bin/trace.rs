@@ -114,18 +114,19 @@ impl Parsed {
     }
 }
 
-/// Build the engine a subcommand's scheme/machine flags describe.
+/// Build the engine a subcommand's scheme/machine flags describe. The
+/// scheme string goes through the registry's one canonical grammar
+/// (`plru_core::Scheme`); parse failures are readable one-line errors.
 fn engine_for(scheme_str: &str, cores: usize, insts: u64, seed: u64, salt: u64) -> SimEngine {
-    let scheme = SchemeKind::parse(scheme_str, None).unwrap_or_else(|e| fail(e));
+    let scheme: Scheme = scheme_str.parse().unwrap_or_else(|e| fail(e));
     let mut cfg = MachineConfig::paper_baseline(cores);
     cfg.insts_target = insts;
     cfg.seed = seed;
-    let builder = SimEngine::builder().machine(cfg).seed_salt(salt);
-    match scheme {
-        SchemeKind::Policy(p) => builder.policy(p),
-        SchemeKind::Cpa(c) => builder.cpa(c),
-    }
-    .build()
+    SimEngine::builder()
+        .machine(cfg)
+        .seed_salt(salt)
+        .scheme(scheme)
+        .build()
 }
 
 fn cmd_record(args: &[String]) {
@@ -223,7 +224,7 @@ fn cmd_record(args: &[String]) {
     eprintln!(
         "recorded `{}` under {} to {out}: {} records over {} threads (capture IPCs {:?})",
         wl.name,
-        engine.scheme_acronym(),
+        engine.scheme(),
         info.total_records(),
         wl.threads(),
         result.ipcs()

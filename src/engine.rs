@@ -3,11 +3,18 @@
 //! Before this module existed, every figure binary, example and
 //! integration test hand-rolled the same wiring — build a
 //! [`MachineConfig`], look up a [`Workload`], thread the replacement
-//! policy and the optional [`CpaConfig`] into [`System::from_workload`],
+//! policy and the optional [`CpaConfig`] into the `System` constructors,
 //! and keep a separate [`IsolationCache`] around for the relative
 //! metrics. [`SimEngine`] owns that tracegen → `cmpsim::System` →
 //! `CpaController` pipeline behind a builder, so call sites state *what*
 //! they simulate and nothing else.
+//!
+//! What an engine simulates *under* is a first-class [`Scheme`] — the
+//! policy × partitioning point from the `plru_core` scheme registry. The
+//! builder takes one via [`SimEngineBuilder::scheme`] (parse it from its
+//! canonical acronym or construct it from a [`CpaConfig`]); the old
+//! separate `.policy(..)` / `.cpa(..)` setters survive one release as
+//! deprecated shims.
 //!
 //! Dispatch stays enum-based end to end ([`PolicyKind`] / [`CpaConfig`]):
 //! there are no trait objects anywhere on the per-access hot path. Every
@@ -35,15 +42,16 @@
 //! let engine = SimEngine::builder()
 //!     .cores(2)
 //!     .insts(50_000) // keep the doctest quick
-//!     .cpa(CpaConfig::m_nru(0.75))
+//!     .scheme("M-0.75N".parse().unwrap())
 //!     .build();
+//! assert_eq!(engine.scheme().to_string(), "M-0.75N");
 //! let result = engine.run_named("2T_05").expect("Table II workload");
 //! assert!(result.ipc(0) > 0.0 && result.ipc(1) > 0.0);
 //! ```
 
 use cachesim::PolicyKind;
 use cmpsim::{MachineConfig, SimResult, System, WorkloadMetrics};
-use plru_core::CpaConfig;
+use plru_core::{CpaConfig, Scheme};
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::Path;
@@ -54,10 +62,11 @@ use tracegen::{BenchmarkProfile, TraceGenerator, TraceMeta, Workload};
 pub use cmpsim::runner::{parallel_map, IsolationCache};
 
 /// Builder for [`SimEngine`]. Defaults to the paper's 2-core baseline
-/// machine with an unpartitioned LRU L2 and seed salt 0.
+/// machine with an unpartitioned LRU L2 (scheme `L`) and seed salt 0.
 #[derive(Debug, Clone)]
 pub struct SimEngineBuilder {
     cfg: MachineConfig,
+    scheme: Option<Scheme>,
     policy: Option<PolicyKind>,
     cpa: Option<CpaConfig>,
     seed_salt: u64,
@@ -68,6 +77,7 @@ impl Default for SimEngineBuilder {
     fn default() -> Self {
         SimEngineBuilder {
             cfg: MachineConfig::paper_baseline(2),
+            scheme: None,
             policy: None,
             cpa: None,
             seed_salt: 0,
@@ -114,9 +124,22 @@ impl SimEngineBuilder {
         self
     }
 
+    /// Set the full replacement/partitioning [`Scheme`] — a bare policy
+    /// (`Scheme::bare`, or `"L".parse()`) runs the L2 unpartitioned; a
+    /// partitioned scheme (`Scheme::partitioned(CpaConfig::m_bt())`, or
+    /// `"M-BT".parse()`) runs the dynamic controller.
+    ///
+    /// This is the single configuration knob; mixing it with the
+    /// deprecated `.policy(..)`/`.cpa(..)` shims panics at `build`.
+    pub fn scheme(mut self, scheme: Scheme) -> Self {
+        self.scheme = Some(scheme);
+        self
+    }
+
     /// Set the L2 replacement policy explicitly (the Figure 6 baselines
     /// run it unpartitioned). With a CPA also set, `build` checks the two
     /// agree — in either call order.
+    #[deprecated(note = "use `scheme(Scheme::bare(policy))` — `Scheme` is the one config currency")]
     pub fn policy(mut self, policy: PolicyKind) -> Self {
         self.policy = Some(policy);
         self
@@ -125,6 +148,9 @@ impl SimEngineBuilder {
     /// Enable a dynamic CPA. Unless `policy` names one explicitly, the L2
     /// replacement policy follows the configuration's profiling policy
     /// (the paper always pairs them).
+    #[deprecated(
+        note = "use `scheme(Scheme::partitioned(cpa)?)` — `Scheme` is the one config currency"
+    )]
     pub fn cpa(mut self, cpa: CpaConfig) -> Self {
         self.cpa = Some(cpa);
         self
@@ -147,43 +173,48 @@ impl SimEngineBuilder {
     /// Finish the builder.
     ///
     /// # Panics
-    /// If both a CPA and an explicit `policy` were set and they name
-    /// different replacement policies (regardless of call order) — the
-    /// paper never mixes the profiling policy and the L2 policy, and
-    /// `System` enforces the same invariant.
+    /// If `.scheme(..)` was mixed with the deprecated `.policy(..)` /
+    /// `.cpa(..)` shims, or — on the shim path — if the CPA and an
+    /// explicit policy name different replacement policies (regardless of
+    /// call order): the paper never mixes the profiling policy and the L2
+    /// policy, and `Scheme` carries the same invariant by construction.
     pub fn build(self) -> SimEngine {
-        let policy = match (&self.cpa, self.policy) {
-            (Some(cpa), Some(explicit)) => {
-                assert_eq!(
-                    cpa.policy,
-                    explicit,
-                    "CPA profiling policy and L2 policy must match (got {} vs {explicit:?})",
-                    cpa.acronym(),
-                );
-                explicit
+        let scheme = match (self.scheme, self.policy, self.cpa) {
+            (Some(scheme), None, None) => scheme,
+            (Some(_), _, _) => panic!(
+                "configure the engine either with .scheme(..) or with the deprecated \
+                 .policy(..)/.cpa(..) shims, not both"
+            ),
+            (None, explicit, Some(cpa)) => {
+                if let Some(explicit) = explicit {
+                    assert_eq!(
+                        cpa.policy,
+                        explicit,
+                        "CPA profiling policy and L2 policy must match (got {} vs {explicit:?})",
+                        cpa.acronym(),
+                    );
+                }
+                Scheme::partitioned(cpa).expect("CPA configuration must be registry-valid")
             }
-            (Some(cpa), None) => cpa.policy,
-            (None, Some(explicit)) => explicit,
-            (None, None) => PolicyKind::Lru,
+            (None, Some(explicit), None) => Scheme::bare(explicit),
+            (None, None, None) => Scheme::bare(PolicyKind::Lru),
         };
         SimEngine {
             cfg: self.cfg,
-            policy,
-            cpa: self.cpa,
+            scheme,
             seed_salt: self.seed_salt,
             isolation: self.isolation.unwrap_or_default(),
         }
     }
 }
 
-/// A configured simulation pipeline: machine + replacement policy +
-/// optional dynamic CPA + shared isolation memo. Cheap to clone (the
-/// isolation cache is shared).
+/// A configured simulation pipeline: machine + [`Scheme`] (replacement
+/// policy, optionally with a dynamic CPA) + shared isolation memo. Cheap
+/// to clone (the isolation cache is shared).
 #[derive(Debug, Clone)]
 pub struct SimEngine {
     cfg: MachineConfig,
-    policy: PolicyKind,
-    cpa: Option<CpaConfig>,
+    scheme: Scheme,
     seed_salt: u64,
     isolation: Arc<IsolationCache>,
 }
@@ -205,14 +236,20 @@ impl SimEngine {
         &self.cfg
     }
 
-    /// The L2 replacement policy.
-    pub fn policy(&self) -> PolicyKind {
-        self.policy
+    /// The replacement/partitioning scheme this engine runs.
+    pub fn scheme(&self) -> &Scheme {
+        &self.scheme
     }
 
-    /// The dynamic CPA configuration, if any.
+    /// The L2 replacement policy (shorthand for `scheme().policy()`).
+    pub fn policy(&self) -> PolicyKind {
+        self.scheme.policy()
+    }
+
+    /// The dynamic CPA configuration, if any (shorthand for
+    /// `scheme().cpa()`).
     pub fn cpa(&self) -> Option<&CpaConfig> {
-        self.cpa.as_ref()
+        self.scheme.cpa()
     }
 
     /// The shared isolation-IPC memo.
@@ -223,24 +260,12 @@ impl SimEngine {
     /// Build (but do not run) the system for a workload — for callers
     /// that need mid-run access, e.g. the controller's partition history.
     pub fn system(&self, workload: &Workload) -> System {
-        System::from_workload(
-            &self.cfg,
-            workload,
-            self.policy,
-            self.cpa.clone(),
-            self.seed_salt,
-        )
+        System::from_workload_scheme(&self.cfg, workload, &self.scheme, self.seed_salt)
     }
 
     /// Build (but do not run) the system for an explicit benchmark list.
     pub fn system_from_profiles(&self, profiles: &[BenchmarkProfile]) -> System {
-        System::from_profiles(
-            &self.cfg,
-            profiles,
-            self.policy,
-            self.cpa.clone(),
-            self.seed_salt,
-        )
+        System::from_profiles_scheme(&self.cfg, profiles, &self.scheme, self.seed_salt)
     }
 
     /// Run one workload to completion.
@@ -286,7 +311,7 @@ impl SimEngine {
             seed: self.cfg.seed,
             seed_salt: self.seed_salt,
             insts: self.cfg.insts_target,
-            scheme: Some(self.scheme_acronym()),
+            scheme: Some(self.scheme.to_string()),
         };
         let writer = Arc::new(Mutex::new(TraceWriter::create(
             BufWriter::new(File::create(path)?),
@@ -306,12 +331,11 @@ impl SimEngine {
                 )) as Box<dyn TraceSource>
             })
             .collect();
-        let mut sys = System::from_sources(
+        let mut sys = System::from_sources_scheme(
             &self.cfg,
             &profiles,
             sources,
-            self.policy,
-            self.cpa.clone(),
+            &self.scheme,
             self.seed_salt,
         );
         let result = sys.run();
@@ -358,13 +382,7 @@ impl SimEngine {
                 info.meta.insts, self.cfg.insts_target
             )));
         }
-        System::from_trace(
-            &self.cfg,
-            path,
-            self.policy,
-            self.cpa.clone(),
-            self.seed_salt,
-        )
+        System::from_trace_scheme(&self.cfg, path, &self.scheme, self.seed_salt)
     }
 
     /// Replay the recorded trace at `path` to completion.
@@ -375,13 +393,10 @@ impl SimEngine {
         Ok(self.system_from_trace(path)?.run())
     }
 
-    /// The scheme acronym of this engine (`"L"`, `"M-0.75N"`, ...): the
-    /// CPA acronym when partitioning, else the bare policy's.
+    /// The scheme acronym of this engine (`"L"`, `"M-0.75N"`, ...).
+    #[deprecated(note = "use `engine.scheme().to_string()`")]
     pub fn scheme_acronym(&self) -> String {
-        match &self.cpa {
-            Some(cpa) => cpa.acronym(),
-            None => self.policy.acronym().to_string(),
-        }
+        self.scheme.to_string()
     }
 
     /// Memoised isolation IPC of one benchmark (alone, full L2, this
@@ -389,13 +404,13 @@ impl SimEngine {
     /// metric divides by.
     pub fn isolation_ipc(&self, benchmark: &str) -> f64 {
         self.isolation
-            .isolation_ipc(&self.cfg, benchmark, self.policy, self.seed_salt)
+            .isolation_ipc(&self.cfg, benchmark, self.policy(), self.seed_salt)
     }
 
     /// Isolation IPCs for a workload's benchmarks, in thread order.
     pub fn isolation_ipcs(&self, benchmarks: &[String]) -> Vec<f64> {
         self.isolation
-            .isolation_ipcs(&self.cfg, benchmarks, self.policy, self.seed_salt)
+            .isolation_ipcs(&self.cfg, benchmarks, self.policy(), self.seed_salt)
     }
 
     /// The paper's three metrics for a finished run of `workload`.
@@ -425,17 +440,28 @@ mod tests {
         assert_eq!(e.config().num_cores, 2);
         assert_eq!(e.policy(), PolicyKind::Lru);
         assert!(e.cpa().is_none());
+        assert_eq!(e.scheme().to_string(), "L");
     }
 
     #[test]
-    fn cpa_sets_the_matching_policy() {
-        let e = quick().cpa(CpaConfig::m_bt()).build();
+    fn scheme_configures_policy_and_cpa_at_once() {
+        let e = quick().scheme("M-BT".parse().unwrap()).build();
         assert_eq!(e.policy(), PolicyKind::Bt);
         assert_eq!(e.cpa().unwrap().acronym(), "M-BT");
+        assert_eq!(e.scheme().to_string(), "M-BT");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_cpa_shim_sets_the_matching_policy() {
+        let e = quick().cpa(CpaConfig::m_bt()).build();
+        assert_eq!(e.policy(), PolicyKind::Bt);
+        assert_eq!(e.scheme().to_string(), "M-BT");
     }
 
     #[test]
     #[should_panic]
+    #[allow(deprecated)]
     fn mismatched_policy_after_cpa_panics() {
         let _ = quick()
             .cpa(CpaConfig::m_nru(0.75))
@@ -445,6 +471,7 @@ mod tests {
 
     #[test]
     #[should_panic]
+    #[allow(deprecated)]
     fn mismatched_policy_before_cpa_panics_too() {
         // The check must not depend on builder call order.
         let _ = quick()
@@ -454,12 +481,23 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn matching_explicit_policy_and_cpa_is_fine() {
         let e = quick()
             .policy(PolicyKind::Nru)
             .cpa(CpaConfig::m_nru(0.75))
             .build();
         assert_eq!(e.policy(), PolicyKind::Nru);
+    }
+
+    #[test]
+    #[should_panic]
+    #[allow(deprecated)]
+    fn mixing_scheme_with_the_shims_panics() {
+        let _ = quick()
+            .scheme(Scheme::bare(PolicyKind::Nru))
+            .policy(PolicyKind::Nru)
+            .build();
     }
 
     #[test]
@@ -473,7 +511,7 @@ mod tests {
         let a = quick().isolation(shared.clone()).build();
         let b = quick()
             .isolation(shared.clone())
-            .policy(PolicyKind::Lru)
+            .scheme(Scheme::bare(PolicyKind::Lru))
             .build();
         let x = a.isolation_ipc("gzip");
         let y = b.isolation_ipc("gzip");

@@ -37,11 +37,12 @@
 //! ```
 //! use plru_repro::prelude::*;
 //!
-//! // A 2-core CMP with the paper's machine, NRU L2 and the M-0.75N CPA.
+//! // A 2-core CMP with the paper's machine under the M-0.75N scheme
+//! // (NRU L2 + mask-enforced dynamic partitioning).
 //! let engine = SimEngine::builder()
 //!     .cores(2)
 //!     .insts(50_000) // keep the doctest quick
-//!     .cpa(CpaConfig::m_nru(0.75))
+//!     .scheme("M-0.75N".parse().unwrap())
 //!     .build();
 //! let result = engine.run_named("2T_05").expect("a Table II workload");
 //! assert!(result.ipc(0) > 0.0 && result.ipc(1) > 0.0);
@@ -64,7 +65,7 @@ pub mod prelude {
     pub use crate::engine::{parallel_map, IsolationCache, SimEngine, SimEngineBuilder};
     pub use crate::scenario::{
         run_miss_curves, CaseReport, MissCurve, MissCurveReport, MissCurveSpec, ScenarioCase,
-        ScenarioError, ScenarioSpec, SchemeKind, SweepReport, SweepRunner, WorkloadSel,
+        ScenarioError, ScenarioSpec, SchemeAxis, SweepReport, SweepRunner, WorkloadSel,
     };
     pub use cachesim::{
         Access, BatchStats, Cache, CacheConfig, CacheGeometry, Enforcement, PolicyKind, WayMask,
@@ -74,7 +75,7 @@ pub mod prelude {
         System, WorkloadMetrics,
     };
     pub use hwmodel::{CacheParams, ComplexityTable, PowerModel, RunActivity};
-    pub use plru_core::{CpaConfig, CpaController, Profiler, Sdh};
+    pub use plru_core::{CpaConfig, CpaController, Profiler, Scheme, SchemeError, Sdh};
     pub use tracegen::{
         all_workloads, benchmark, workload, TraceError, TraceGenerator, TraceInfo, TraceMeta,
         TraceSource, Workload,

@@ -7,12 +7,18 @@
 //! product of the deduplicated axis lengths, and `ScenarioCase::index` is
 //! the position in that order — the contract the golden-snapshot and
 //! property tests pin.
+//!
+//! The scheme axis holds [`plru_core::Scheme`]s: entries are parsed by
+//! the registry's single grammar (there is no scenario-local scheme
+//! parser), the spec-level `interval_cycles` override is folded into CPA
+//! schemes, and the `"all"` shorthand expands to
+//! [`Scheme::all_baseline`].
 
 use crate::engine::{IsolationCache, SimEngine};
 use crate::scenario::spec::{ScenarioSpec, WorkloadSel};
-use cachesim::{CacheGeometry, PolicyKind};
+use cachesim::CacheGeometry;
 use cmpsim::MachineConfig;
-use plru_core::CpaConfig;
+use plru_core::Scheme;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -38,59 +44,6 @@ impl fmt::Display for ScenarioError {
 
 impl std::error::Error for ScenarioError {}
 
-/// One entry of the scheme axis, parsed: a bare replacement policy (run
-/// unpartitioned) or a full dynamic-CPA configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum SchemeKind {
-    /// Unpartitioned L2 under a replacement policy.
-    Policy(PolicyKind),
-    /// Dynamic cache-partitioning configuration (policy implied).
-    Cpa(CpaConfig),
-}
-
-impl SchemeKind {
-    /// Parse a scheme string: a policy acronym (`"L"`, `"N"`, `"BT"`,
-    /// `"R"`) or a CPA acronym (`"C-L"`, `"M-0.75N"`, ...). A spec-level
-    /// `interval_cycles` override is folded into CPA schemes here.
-    pub fn parse(s: &str, interval_cycles: Option<u64>) -> Result<SchemeKind, ScenarioError> {
-        if let Some(mut cpa) = CpaConfig::from_acronym(s) {
-            if let Some(iv) = interval_cycles {
-                cpa.interval_cycles = iv;
-            }
-            return Ok(SchemeKind::Cpa(cpa));
-        }
-        let policy = match s {
-            "L" => PolicyKind::Lru,
-            "N" => PolicyKind::Nru,
-            "BT" => PolicyKind::Bt,
-            "R" => PolicyKind::Random,
-            other => {
-                return Err(ScenarioError::new(format!(
-                    "unknown scheme `{other}` (expected a policy acronym L/N/BT/R \
-                     or a CPA acronym like C-L, M-L, M-0.75N, M-BT)"
-                )))
-            }
-        };
-        Ok(SchemeKind::Policy(policy))
-    }
-
-    /// The paper-style acronym (`"L"`, `"M-0.75N"`, ...).
-    pub fn acronym(&self) -> String {
-        match self {
-            SchemeKind::Policy(p) => p.acronym().to_string(),
-            SchemeKind::Cpa(c) => c.acronym(),
-        }
-    }
-
-    /// The L2 replacement policy the scheme runs.
-    pub fn policy(&self) -> PolicyKind {
-        match self {
-            SchemeKind::Policy(p) => *p,
-            SchemeKind::Cpa(c) => c.policy,
-        }
-    }
-}
-
 /// One fully resolved point of a sweep: everything needed to build and run
 /// a [`SimEngine`] simulation, in expansion order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -101,8 +54,9 @@ pub struct ScenarioCase {
     pub workload: String,
     /// Benchmark names, one per core.
     pub benchmarks: Vec<String>,
-    /// Replacement/partitioning scheme.
-    pub scheme: SchemeKind,
+    /// Replacement/partitioning scheme (serialized in the full-fidelity
+    /// `{"Policy"/"Cpa"}` form the golden reports pin).
+    pub scheme: Scheme,
     /// Shared-L2 capacity in bytes.
     pub l2_bytes: u64,
     /// Shared-L2 associativity.
@@ -147,15 +101,12 @@ impl ScenarioCase {
 
     /// Build the case's engine on a shared isolation memo.
     pub fn engine(&self, isolation: Arc<IsolationCache>) -> SimEngine {
-        let builder = SimEngine::builder()
+        SimEngine::builder()
             .machine(self.machine())
             .seed_salt(self.seed_salt)
-            .isolation(isolation);
-        match &self.scheme {
-            SchemeKind::Policy(p) => builder.policy(*p),
-            SchemeKind::Cpa(c) => builder.cpa(c.clone()),
-        }
-        .build()
+            .isolation(isolation)
+            .scheme(self.scheme.clone())
+            .build()
     }
 }
 
@@ -193,7 +144,11 @@ impl ScenarioSpec {
         let capture_history = self.capture_history.unwrap_or(false);
 
         non_empty(&self.workloads, "workloads")?;
-        non_empty(&self.schemes, "schemes")?;
+        let resolved_schemes = self
+            .schemes
+            .resolve()
+            .map_err(|e| ScenarioError::new(e.to_string()))?;
+        non_empty(&resolved_schemes, "schemes")?;
 
         // Resolve the workload axis (validates every name; recorded
         // traces are fully stream-validated here so a corrupt file fails
@@ -248,15 +203,14 @@ impl ScenarioSpec {
             workloads.push(wl);
         }
 
-        // Parse the scheme axis, then dedupe by canonical acronym so
-        // spellings like `M-.75N` and `M-0.75N` collapse.
-        let parsed: Vec<SchemeKind> = self
-            .schemes
-            .iter()
-            .map(|s| SchemeKind::parse(s, self.interval_cycles))
-            .collect::<Result<_, _>>()?;
-        let mut schemes: Vec<SchemeKind> = Vec::new();
-        for s in parsed {
+        // Fold the spec-level interval override into CPA schemes, then
+        // dedupe by canonical acronym so spellings like `M-.75N` and
+        // `M-0.75N` collapse. (`resolve` already parsed explicit entries
+        // through the registry grammar; `"all"` arrived as `Scheme`s
+        // directly, with no string round trip.)
+        let mut schemes: Vec<Scheme> = Vec::new();
+        for s in resolved_schemes {
+            let s = s.with_interval_cycles(self.interval_cycles);
             if !schemes.iter().any(|t| t.acronym() == s.acronym()) {
                 schemes.push(s);
             }
@@ -323,13 +277,14 @@ impl ScenarioSpec {
 mod tests {
     use super::*;
     use crate::scenario::spec::WorkloadSel;
+    use cachesim::PolicyKind;
 
     fn base_spec() -> ScenarioSpec {
         ScenarioSpec {
             name: "t".into(),
             insts: Some(10_000),
             workloads: vec![WorkloadSel::Named("2T_06".into())],
-            schemes: vec!["L".into()],
+            schemes: vec!["L".into()].into(),
             ..Default::default()
         }
     }
@@ -354,7 +309,7 @@ mod tests {
             WorkloadSel::Named("2T_06".into()),
             WorkloadSel::Profiles(vec!["gzip".into()]),
         ];
-        spec.schemes = vec!["L".into(), "N".into()];
+        spec.schemes = vec!["L".into(), "N".into()].into();
         spec.l2_sizes = Some(vec![512 * 1024, 2 * 1024 * 1024]);
         spec.seed_salts = Some(vec![0, 1]);
         let cases = spec.expand().unwrap();
@@ -381,7 +336,7 @@ mod tests {
     #[test]
     fn duplicate_axis_entries_dedupe() {
         let mut spec = base_spec();
-        spec.schemes = vec!["L".into(), "M-0.75N".into(), "L".into(), "M-.75N".into()];
+        spec.schemes = vec!["L".into(), "M-0.75N".into(), "L".into(), "M-.75N".into()].into();
         spec.seed_salts = Some(vec![4, 4, 4]);
         let cases = spec.expand().unwrap();
         assert_eq!(cases.len(), 2, "L and M-0.75N, each at salt 4");
@@ -400,14 +355,14 @@ mod tests {
         assert!(spec.expand().unwrap_err().to_string().contains("nonesuch"));
 
         let mut spec = base_spec();
-        spec.schemes = vec!["Q".into()];
+        spec.schemes = vec!["Q".into()].into();
         assert!(spec.expand().unwrap_err().to_string().contains("`Q`"));
     }
 
     #[test]
     fn empty_axes_error() {
         let mut spec = base_spec();
-        spec.schemes = vec![];
+        spec.schemes = Vec::new().into();
         assert!(spec.expand().is_err());
         let mut spec = base_spec();
         spec.seed_salts = Some(vec![]);
@@ -417,7 +372,7 @@ mod tests {
     #[test]
     fn bt_rejects_non_power_of_two_assoc() {
         let mut spec = base_spec();
-        spec.schemes = vec!["BT".into()];
+        spec.schemes = vec!["BT".into()].into();
         // 128 B x 12 ways x 1024 sets: a valid geometry, but BT's tree
         // needs a power-of-two way count.
         spec.l2_sizes = Some(vec![128 * 12 * 1024]);
@@ -437,14 +392,32 @@ mod tests {
     #[test]
     fn interval_override_reaches_cpa_schemes_only() {
         let mut spec = base_spec();
-        spec.schemes = vec!["M-L".into(), "L".into()];
+        spec.schemes = vec!["M-L".into(), "L".into()].into();
         spec.interval_cycles = Some(250_000);
         let cases = spec.expand().unwrap();
-        match &cases[0].scheme {
-            SchemeKind::Cpa(c) => assert_eq!(c.interval_cycles, 250_000),
-            other => panic!("expected CPA, got {other:?}"),
+        let cpa = cases[0].scheme.cpa().expect("M-L is a CPA scheme");
+        assert_eq!(cpa.interval_cycles, 250_000);
+        assert_eq!(cases[1].scheme, Scheme::bare(PolicyKind::Lru));
+    }
+
+    #[test]
+    fn schemes_all_expands_to_the_registry_baseline() {
+        let mut spec = base_spec();
+        spec.schemes = crate::scenario::spec::SchemeAxis::All;
+        let cases = spec.expand().unwrap();
+        let acronyms: Vec<String> = cases.iter().map(|c| c.scheme.acronym()).collect();
+        let expected: Vec<String> = Scheme::all_baseline()
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+        assert_eq!(acronyms, expected, "all = registry baseline, in order");
+        // The interval override still reaches every CPA scheme of "all".
+        spec.interval_cycles = Some(123_456);
+        for case in spec.expand().unwrap() {
+            if let Some(cpa) = case.scheme.cpa() {
+                assert_eq!(cpa.interval_cycles, 123_456, "{}", case.scheme);
+            }
         }
-        assert_eq!(cases[1].scheme, SchemeKind::Policy(PolicyKind::Lru));
     }
 
     #[test]
@@ -452,7 +425,7 @@ mod tests {
         let mut spec = base_spec();
         spec.l2_sizes = Some(vec![512 * 1024]);
         spec.seed_salts = Some(vec![3]);
-        spec.schemes = vec!["M-BT".into()];
+        spec.schemes = vec!["M-BT".into()].into();
         let cases = spec.expand().unwrap();
         let engine = cases[0].engine(Arc::new(IsolationCache::new()));
         assert_eq!(engine.config().l2.size_bytes(), 512 * 1024);

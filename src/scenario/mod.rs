@@ -7,9 +7,10 @@
 //! execution fleet:
 //!
 //! * [`spec`] — [`ScenarioSpec`], a serde-backed declaration of sweep axes
-//!   (schemes, L2 sizes/associativities, workload mixes by Table II name,
-//!   explicit benchmark list or recorded trace container, seed salts),
-//!   plus the profiler-level [`MissCurveSpec`];
+//!   (schemes — explicit acronyms or the `"all"` registry shorthand, L2
+//!   sizes/associativities, workload mixes by Table II name, explicit
+//!   benchmark list or recorded trace container, seed salts), plus the
+//!   profiler-level [`MissCurveSpec`];
 //! * [`expand`] — deterministic expansion of a spec into an ordered list
 //!   of [`ScenarioCase`]s (dedup per axis, case count = product of axis
 //!   lengths, stable index order);
@@ -33,7 +34,7 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
-pub use expand::{ScenarioCase, ScenarioError, SchemeKind};
+pub use expand::{ScenarioCase, ScenarioError};
 pub use report::{CaseReport, MissCurve, MissCurveReport, SweepReport};
 pub use runner::{run_miss_curves, SweepRunner};
-pub use spec::{MissCurveSpec, ScenarioSpec, WorkloadSel};
+pub use spec::{MissCurveSpec, ScenarioSpec, SchemeAxis, WorkloadSel};

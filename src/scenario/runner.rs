@@ -209,6 +209,11 @@ pub fn run_miss_curves(spec: &MissCurveSpec) -> Result<MissCurveReport, Scenario
     let baseline = cmpsim::MachineConfig::paper_baseline(1);
     let geom = baseline.l2;
     // Full (unsampled) ATDs so the curves are smooth in a short run.
+    //
+    // Note: the `profilers` axis names *profiling logics* ("L", "0.75N",
+    // "BT"), not schemes — there is no enforcement part and bare scale
+    // prefixes are legal — so it deliberately does not go through the
+    // `Scheme` grammar.
     let mut profilers: Vec<(String, Prof)> = Vec::new();
     for p in &spec.profilers {
         let (label, prof) = match p.as_str() {
@@ -296,7 +301,7 @@ mod tests {
                 WorkloadSel::Named("2T_06".into()),
                 WorkloadSel::Profiles(vec!["gzip".into(), "eon".into()]),
             ],
-            schemes: vec!["L".into(), "M-0.75N".into()],
+            schemes: vec!["L".into(), "M-0.75N".into()].into(),
             ..Default::default()
         }
     }
@@ -332,7 +337,7 @@ mod tests {
     #[test]
     fn invalid_spec_surfaces_the_expansion_error() {
         let mut spec = tiny_spec();
-        spec.schemes = vec!["Q".into()];
+        spec.schemes = vec!["Q".into()].into();
         assert!(SweepRunner::new().run(&spec).is_err());
     }
 

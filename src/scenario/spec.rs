@@ -46,6 +46,101 @@ impl WorkloadSel {
     }
 }
 
+/// The scheme axis of a spec: an explicit list of scheme acronyms, or the
+/// `"all"` shorthand expanding to every registered baseline scheme
+/// ([`Scheme::all_baseline`](plru_core::Scheme::all_baseline) — each
+/// policy bare plus the paper's six CPA configurations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemeAxis {
+    /// `"schemes": "all"` — the whole registry baseline.
+    All,
+    /// `"schemes": ["L", "M-0.75N", ...]` — explicit acronyms, parsed and
+    /// validated by the scheme registry at expansion.
+    List(Vec<String>),
+}
+
+impl SchemeAxis {
+    /// The explicit acronym list, if this axis is one.
+    pub fn as_list(&self) -> Option<&[String]> {
+        match self {
+            SchemeAxis::All => None,
+            SchemeAxis::List(xs) => Some(xs),
+        }
+    }
+
+    /// Is this the `"all"` shorthand?
+    pub fn is_all(&self) -> bool {
+        matches!(self, SchemeAxis::All)
+    }
+
+    /// The acronym strings the axis stands for: the list itself, or every
+    /// baseline scheme's canonical acronym for `"all"` (a display/test
+    /// convenience — expansion resolves through [`SchemeAxis::resolve`]).
+    pub fn entries(&self) -> Vec<String> {
+        match self {
+            SchemeAxis::All => plru_core::Scheme::all_baseline()
+                .iter()
+                .map(ToString::to_string)
+                .collect(),
+            SchemeAxis::List(xs) => xs.clone(),
+        }
+    }
+
+    /// Resolve the axis into [`Scheme`](plru_core::Scheme)s: `"all"`
+    /// yields the baseline enumeration directly (no string round trip, so
+    /// configuration the acronym cannot express survives), an explicit
+    /// list parses each entry through the registry grammar.
+    pub fn resolve(&self) -> Result<Vec<plru_core::Scheme>, plru_core::SchemeError> {
+        match self {
+            SchemeAxis::All => Ok(plru_core::Scheme::all_baseline()),
+            SchemeAxis::List(xs) => xs.iter().map(|s| s.parse()).collect(),
+        }
+    }
+}
+
+impl Default for SchemeAxis {
+    fn default() -> Self {
+        SchemeAxis::List(Vec::new())
+    }
+}
+
+impl From<Vec<String>> for SchemeAxis {
+    fn from(xs: Vec<String>) -> Self {
+        SchemeAxis::List(xs)
+    }
+}
+
+impl FromIterator<String> for SchemeAxis {
+    fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        SchemeAxis::List(iter.into_iter().collect())
+    }
+}
+
+impl Serialize for SchemeAxis {
+    fn to_value(&self) -> Value {
+        match self {
+            SchemeAxis::All => Value::Str("all".to_string()),
+            SchemeAxis::List(xs) => Value::Array(xs.iter().cloned().map(Value::Str).collect()),
+        }
+    }
+}
+
+impl Deserialize for SchemeAxis {
+    fn from_value(v: &Value) -> Result<Self, SerdeError> {
+        match v {
+            Value::Str(s) if s == "all" => Ok(SchemeAxis::All),
+            Value::Str(other) => Err(SerdeError::new(format!(
+                "schemes must be \"all\" or a list of scheme acronyms, found \"{other}\""
+            ))),
+            Value::Array(_) => Vec::<String>::from_value(v).map(SchemeAxis::List),
+            other => Err(SerdeError::new(format!(
+                "schemes must be \"all\" or a list of scheme acronyms, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 // Manual serde impls: the stub derive has no `untagged` support, and the
 // JSON shape (string vs array vs {"recorded": ...} object) is the whole
 // point of the enum.
@@ -130,9 +225,12 @@ pub struct ScenarioSpec {
     /// recorded trace containers (`{"recorded": "<path>"}`).
     pub workloads: Vec<WorkloadSel>,
     /// Scheme axis: bare replacement policies (`"L"`, `"N"`, `"BT"`,
-    /// `"R"`) run unpartitioned; CPA acronyms (`"C-L"`, `"M-L"`,
-    /// `"M-0.75N"`, `"M-BT"`, ...) run under the dynamic controller.
-    pub schemes: Vec<String>,
+    /// `"R"`, `"F"`) run unpartitioned; CPA acronyms (`"C-L"`, `"M-L"`,
+    /// `"M-0.75N"`, `"M-BT"`, ...) run under the dynamic controller; the
+    /// string `"all"` expands to every registered baseline scheme. All
+    /// acronyms are parsed by the single registry grammar
+    /// ([`plru_core::Scheme`]).
+    pub schemes: SchemeAxis,
     /// Shared-L2 capacity axis in bytes (default: the baseline 2 MB).
     pub l2_sizes: Option<Vec<u64>>,
     /// Shared-L2 associativity axis (default: the baseline 16 ways).
@@ -230,7 +328,7 @@ mod tests {
                 WorkloadSel::Named("2T_05".into()),
                 WorkloadSel::Profiles(vec!["gzip".into()]),
             ],
-            schemes: vec!["L".into(), "M-BT".into()],
+            schemes: vec!["L".into(), "M-BT".into()].into(),
             l2_sizes: Some(vec![512 * 1024]),
             l2_assocs: Some(vec![8, 16]),
             seed_salts: Some(vec![0, 3]),
@@ -248,6 +346,33 @@ mod tests {
         assert_eq!(spec.l2_sizes, None);
         assert_eq!(spec.seed_salts, None);
         assert_eq!(spec.capture_history, None);
+    }
+
+    #[test]
+    fn scheme_axis_parses_all_and_lists() {
+        let spec =
+            ScenarioSpec::from_json(r#"{"name": "a", "workloads": ["2T_01"], "schemes": "all"}"#)
+                .unwrap();
+        assert!(spec.schemes.is_all());
+        assert!(spec.schemes.as_list().is_none());
+        assert!(
+            spec.schemes.entries().len() > 6,
+            "all = every bare policy + the paper's six CPA configurations"
+        );
+        // Round trip keeps the shorthand.
+        assert_eq!(
+            ScenarioSpec::from_json(&spec.to_json_pretty()).unwrap(),
+            spec
+        );
+        // Anything but "all" or a list is a readable error.
+        assert!(ScenarioSpec::from_json(
+            r#"{"name": "a", "workloads": ["2T_01"], "schemes": "some"}"#
+        )
+        .is_err());
+        assert!(
+            ScenarioSpec::from_json(r#"{"name": "a", "workloads": ["2T_01"], "schemes": 3}"#)
+                .is_err()
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ fn every_figure7_config_runs_on_every_core_count() {
             .unwrap();
         for cpa in CpaConfig::figure7_set() {
             let acronym = cpa.acronym();
-            let r = quick(threads, 25_000).cpa(cpa).build().run(&wl);
+            let r = quick(threads, 25_000)
+                .scheme(Scheme::partitioned(cpa).unwrap())
+                .build()
+                .run(&wl);
             assert_eq!(r.cores.len(), threads, "{acronym}");
             assert!(
                 r.ipcs().iter().all(|&i| i > 0.0 && i < 8.0),
@@ -33,7 +36,7 @@ fn every_figure7_config_runs_on_every_core_count() {
 fn identical_seeds_reproduce_identical_results() {
     let wl = workload("2T_07").unwrap();
     let engine = quick(2, 40_000)
-        .cpa(CpaConfig::m_bt())
+        .scheme(Scheme::partitioned(CpaConfig::m_bt()).unwrap())
         .seed_salt(42)
         .build();
     let a = engine.run(&wl);
@@ -79,7 +82,7 @@ fn partitioning_helps_a_small_cache_more_than_a_big_one() {
         let base = quick(2, 250_000).l2_size(bytes).build().run(&wl);
         let part = quick(2, 250_000)
             .l2_size(bytes)
-            .cpa(CpaConfig::m_l())
+            .scheme(Scheme::partitioned(CpaConfig::m_l()).unwrap())
             .build()
             .run(&wl);
         throughput(&part.ipcs()) / throughput(&base.ipcs())
@@ -101,7 +104,7 @@ fn dynamic_cpa_tracks_workload_mix() {
         benchmark("swim").unwrap(), // streaming
     ];
     let r = quick(2, 400_000)
-        .cpa(CpaConfig::m_l())
+        .scheme(Scheme::partitioned(CpaConfig::m_l()).unwrap())
         .build()
         .run_profiles(&profiles);
     assert!(r.intervals >= 1, "needs at least one repartition");
@@ -126,7 +129,7 @@ fn workload_metrics_are_mutually_consistent() {
 #[test]
 fn simresult_serialises() {
     let r = quick(2, 20_000)
-        .policy(PolicyKind::Nru)
+        .scheme(Scheme::bare(PolicyKind::Nru))
         .build()
         .run_named("2T_01")
         .unwrap();

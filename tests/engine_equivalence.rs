@@ -1,8 +1,9 @@
 //! The engine layer must be a pure refactor: a `SimEngine` run is
-//! bit-identical to the hand-wired `System::from_workload` pipeline it
-//! replaced, and the fleet runner keeps results in input order. This file
-//! holds the one sanctioned direct `System::from_workload` call site
-//! outside `cmpsim` itself.
+//! bit-identical to the hand-wired `System::from_workload_scheme`
+//! pipeline it replaced, and the fleet runner keeps results in input
+//! order. This file holds the sanctioned direct `System` call sites
+//! outside `cmpsim` itself — including one deliberately exercising the
+//! deprecated pre-`Scheme` signature to pin the shim's equivalence.
 
 use plru_repro::prelude::*;
 
@@ -14,11 +15,12 @@ fn engine_matches_hand_wired_system_for_2t05_under_m075n() {
     let cpa = CpaConfig::m_nru(0.75);
 
     // The hand-wired reference pipeline, exactly as every call site was
-    // written before the engine existed.
-    let mut sys = System::from_workload(&cfg, &wl, cpa.policy, Some(cpa.clone()), 0);
+    // written before the engine existed (modulo the Scheme currency).
+    let scheme = Scheme::partitioned(cpa).unwrap();
+    let mut sys = System::from_workload_scheme(&cfg, &wl, &scheme, 0);
     let reference = sys.run();
 
-    let engine = SimEngine::builder().machine(cfg).cpa(cpa).build();
+    let engine = SimEngine::builder().machine(cfg).scheme(scheme).build();
     let result = engine.run(&wl);
 
     assert_eq!(result.ipcs(), reference.ipcs(), "IPC per core must match");
@@ -39,10 +41,11 @@ fn engine_matches_hand_wired_unpartitioned_run() {
     cfg.insts_target = 60_000;
     let wl = workload("2T_05").unwrap();
 
-    let reference = System::from_workload(&cfg, &wl, PolicyKind::Nru, None, 3).run();
+    let reference =
+        System::from_workload_scheme(&cfg, &wl, &Scheme::bare(PolicyKind::Nru), 3).run();
     let result = SimEngine::builder()
         .machine(cfg)
-        .policy(PolicyKind::Nru)
+        .scheme(Scheme::bare(PolicyKind::Nru))
         .seed_salt(3)
         .build()
         .run(&wl);
@@ -82,4 +85,27 @@ fn engine_fleet_matches_sequential_runs() {
         assert_eq!(f.ipcs(), s.ipcs(), "{}", wl.name);
         assert_eq!(f.total_cycles, s.total_cycles, "{}", wl.name);
     }
+}
+
+/// The deprecated pre-`Scheme` surface must keep producing bit-identical
+/// simulations (and identical schemes) until it is removed.
+#[test]
+#[allow(deprecated)]
+fn deprecated_pair_signatures_match_the_scheme_path() {
+    let mut cfg = MachineConfig::paper_baseline(2);
+    cfg.insts_target = 40_000;
+    let wl = workload("2T_05").unwrap();
+    let cpa = CpaConfig::m_nru(0.75);
+
+    let legacy = System::from_workload(&cfg, &wl, cpa.policy, Some(cpa.clone()), 1).run();
+    let scheme = Scheme::partitioned(cpa.clone()).unwrap();
+    let current = System::from_workload_scheme(&cfg, &wl, &scheme, 1).run();
+    assert_eq!(legacy.ipcs(), current.ipcs());
+    assert_eq!(legacy.total_cycles, current.total_cycles);
+
+    // The builder shims resolve to the very same scheme.
+    let a = SimEngine::builder().machine(cfg.clone()).cpa(cpa).build();
+    let b = SimEngine::builder().machine(cfg).scheme(scheme).build();
+    assert_eq!(a.scheme(), b.scheme());
+    assert_eq!(a.scheme().to_string(), "M-0.75N");
 }

@@ -45,7 +45,7 @@ fn arb_spec() -> impl Strategy<Value = ScenarioSpec> {
             name: "prop".into(),
             insts: Some(10_000),
             workloads,
-            schemes,
+            schemes: schemes.into(),
             l2_sizes: Some(sizes),
             l2_assocs: Some(assocs),
             seed_salts: Some(salts),
@@ -81,8 +81,9 @@ proptest! {
         let cases = spec.expand().unwrap();
         let scheme_acronyms: Vec<String> = spec
             .schemes
+            .entries()
             .iter()
-            .map(|s| SchemeKind::parse(s, None).unwrap().acronym())
+            .map(|s| s.parse::<Scheme>().unwrap().acronym())
             .collect();
         let expect = unique(&spec.workloads).len()
             * unique(&scheme_acronyms).len()
@@ -99,7 +100,9 @@ proptest! {
     fn duplicated_axes_expand_identically(spec in arb_spec()) {
         let mut doubled = spec.clone();
         doubled.workloads.extend(spec.workloads.clone());
-        doubled.schemes.extend(spec.schemes.clone());
+        let mut schemes = spec.schemes.entries();
+        schemes.extend(schemes.clone());
+        doubled.schemes = schemes.into();
         let mut salts = doubled.seed_salts.take().unwrap();
         salts.extend(salts.clone());
         doubled.seed_salts = Some(salts);
@@ -118,7 +121,7 @@ fn sweep_reports_are_thread_count_invariant() {
             WorkloadSel::Named("2T_06".into()),
             WorkloadSel::Profiles(vec!["gzip".into(), "eon".into()]),
         ],
-        schemes: vec!["L".into(), "M-0.75N".into()],
+        schemes: vec!["L".into(), "M-0.75N".into()].into(),
         seed_salts: Some(vec![0, 1]),
         ..Default::default()
     };

@@ -16,7 +16,7 @@ fn sweep_runner_matches_sequential_engine_runs() {
             WorkloadSel::Named("2T_05".into()),
             WorkloadSel::Profiles(vec!["gzip".into(), "eon".into()]),
         ],
-        schemes: vec!["L".into(), "M-0.75N".into()],
+        schemes: vec!["L".into(), "M-0.75N".into()].into(),
         l2_sizes: Some(vec![512 * 1024, 2 * 1024 * 1024]),
         seed_salts: Some(vec![0, 1]),
         ..Default::default()

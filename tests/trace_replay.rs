@@ -33,7 +33,7 @@ fn replay_is_bit_identical_to_live_synthesis_under_cpa() {
         .insts(30_000)
         .seed(99)
         .seed_salt(5)
-        .cpa(CpaConfig::m_nru(0.75))
+        .scheme(Scheme::partitioned(CpaConfig::m_nru(0.75)).unwrap())
         .build();
     let wl = workload("2T_02").unwrap(); // mcf + parser, cache-hostile
     let path = tmp("plru_replay_cpa.pltc");
@@ -68,7 +68,7 @@ fn replay_under_a_different_scheme_matches_that_schemes_live_run() {
     let ml = SimEngine::builder()
         .cores(2)
         .insts(25_000)
-        .cpa(CpaConfig::m_l())
+        .scheme(Scheme::partitioned(CpaConfig::m_l()).unwrap())
         .build();
     let live = ml.run(&wl);
     let replayed = ml.run_trace(&path).unwrap();
@@ -164,7 +164,7 @@ fn expansion_rejects_missing_and_undersized_traces() {
         name: "bad".into(),
         insts: Some(10_000),
         workloads: vec![WorkloadSel::Recorded("no/such/file.pltc".into())],
-        schemes: vec!["L".into()],
+        schemes: vec!["L".into()].into(),
         ..Default::default()
     };
     let err = spec.expand().unwrap_err().to_string();
@@ -212,7 +212,7 @@ fn sweeps_over_generator_streamed_traces_cycle_instead_of_panicking() {
         name: "cyclic".into(),
         insts: Some(20_000),
         workloads: vec![WorkloadSel::Recorded(path.display().to_string())],
-        schemes: vec!["L".into()],
+        schemes: vec!["L".into()].into(),
         ..Default::default()
     };
     let report = SweepRunner::with_threads(1).run(&spec).unwrap();
@@ -236,7 +236,7 @@ fn recorded_case_carries_the_traces_metadata() {
         name: "meta".into(),
         insts: Some(8_000),
         workloads: vec![WorkloadSel::Recorded(path.display().to_string())],
-        schemes: vec!["L".into()],
+        schemes: vec!["L".into()].into(),
         ..Default::default()
     };
     let cases = spec.expand().unwrap();
