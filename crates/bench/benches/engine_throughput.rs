@@ -1,0 +1,46 @@
+//! Whole-system throughput: simulated accesses per second through
+//! `SimEngine::run` — the metric users actually feel, covering the full
+//! tracegen → cachesim → CPA pipeline rather than the microkernel alone.
+//!
+//! The gated criterion ids (`engine_throughput/L`, `engine_throughput/
+//! M-0.75N`) record mean ns per complete run at a fixed instruction
+//! target, so they regress exactly when accesses/sec does; each id also
+//! prints the run's simulated L2 access count so logs can convert the
+//! mean into accesses/sec directly.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use plru_core::{CpaConfig, Scheme};
+use plru_repro::SimEngine;
+use tracegen::workload;
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let wl = workload("2T_02").unwrap(); // mcf + parser: plenty of L2 traffic
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+
+    let schemes = [
+        ("L", Scheme::bare(cachesim::PolicyKind::Lru)),
+        (
+            "M-0.75N",
+            Scheme::partitioned(CpaConfig::m_nru(0.75)).unwrap(),
+        ),
+    ];
+    for (label, scheme) in schemes {
+        let engine = SimEngine::builder()
+            .cores(2)
+            .insts(30_000)
+            .seed_salt(1)
+            .scheme(scheme)
+            .build();
+        // One run is deterministic, so its access count is the per-iteration
+        // work: accesses/sec = this count / (mean_ns * 1e-9).
+        let result = engine.run(&wl);
+        let accesses = result.l2_stats.total().accesses;
+        eprintln!("engine_throughput/{label}: {accesses} simulated L2 accesses per run");
+        group.bench_function(label, |b| b.iter(|| black_box(engine.run(&wl))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

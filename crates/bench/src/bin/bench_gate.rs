@@ -1,8 +1,12 @@
 //! CI bench-regression gate.
 //!
-//! Compares a fresh `policies` bench run against a committed baseline and
-//! fails (exit code 1) when any benchmark id regressed by more than the
-//! allowed fraction. Both file shapes are accepted:
+//! Compares a fresh `policies` / `engine_throughput` bench run against a
+//! committed baseline and fails (exit code 1) when any benchmark id
+//! regressed by more than the allowed fraction. Every baseline id gets a
+//! verdict line — `ok` rows print their percentage delta too, so bench CI
+//! logs show the performance trajectory even when the gate passes — and
+//! *all* regressed ids are reported in one run, not just the first. Both
+//! file shapes are accepted:
 //!
 //! * the committed `BENCH_*.json` baselines (one object with a `results`
 //!   array of `{"id": ..., "mean_ns": ...}` records), and
@@ -12,7 +16,7 @@
 //! Usage:
 //!
 //! ```text
-//! bench_gate --baseline BENCH_1.json --current bench_current.jsonl \
+//! bench_gate --baseline BENCH_2.json --current bench_current.jsonl \
 //!            [--max-regression 0.15]
 //! ```
 //!
@@ -27,6 +31,39 @@ use std::process::ExitCode;
 struct Record {
     id: String,
     mean_ns: f64,
+}
+
+/// Gate outcome for one baseline id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Status {
+    /// Within budget (delta may be negative — an improvement).
+    Ok,
+    /// Regressed past the allowed fraction.
+    Regressed,
+    /// In the baseline but absent from the current run.
+    Missing,
+}
+
+/// One baseline id's comparison against the current run.
+#[derive(Debug, Clone, PartialEq)]
+struct Verdict {
+    id: String,
+    status: Status,
+    baseline_ns: f64,
+    /// `None` when the id is missing from the current run.
+    current_ns: Option<f64>,
+}
+
+impl Verdict {
+    fn failed(&self) -> bool {
+        self.status != Status::Ok
+    }
+
+    /// Percentage delta vs the baseline (`+` is slower).
+    fn delta_pct(&self) -> Option<f64> {
+        self.current_ns
+            .map(|cur| (cur / self.baseline_ns - 1.0) * 100.0)
+    }
 }
 
 /// Extract `(id, mean_ns)` pairs from either supported file shape.
@@ -65,32 +102,30 @@ fn parse_records(text: &str) -> Vec<Record> {
     records
 }
 
-/// Compare current means against the baseline. Returns human-readable
-/// failure lines; empty means the gate passes.
-fn gate(baseline: &[Record], current: &[Record], max_regression: f64) -> Vec<String> {
-    let mut failures = Vec::new();
-    for base in baseline {
-        match current.iter().find(|r| r.id == base.id) {
-            None => failures.push(format!(
-                "{}: present in baseline but missing from the current run",
-                base.id
-            )),
-            Some(cur) => {
-                let ratio = cur.mean_ns / base.mean_ns;
-                if ratio > 1.0 + max_regression {
-                    failures.push(format!(
-                        "{}: {:.1} ns vs baseline {:.1} ns (+{:.1}% > +{:.1}% allowed)",
-                        base.id,
-                        cur.mean_ns,
-                        base.mean_ns,
-                        (ratio - 1.0) * 100.0,
-                        max_regression * 100.0
-                    ));
-                }
-            }
-        }
-    }
-    failures
+/// Compare current means against the baseline: one [`Verdict`] per
+/// baseline id, in baseline order, regardless of how many pass or fail.
+fn gate(baseline: &[Record], current: &[Record], max_regression: f64) -> Vec<Verdict> {
+    baseline
+        .iter()
+        .map(|base| match current.iter().find(|r| r.id == base.id) {
+            None => Verdict {
+                id: base.id.clone(),
+                status: Status::Missing,
+                baseline_ns: base.mean_ns,
+                current_ns: None,
+            },
+            Some(cur) => Verdict {
+                id: base.id.clone(),
+                status: if cur.mean_ns / base.mean_ns > 1.0 + max_regression {
+                    Status::Regressed
+                } else {
+                    Status::Ok
+                },
+                baseline_ns: base.mean_ns,
+                current_ns: Some(cur.mean_ns),
+            },
+        })
+        .collect()
 }
 
 fn usage() -> ! {
@@ -140,34 +175,41 @@ fn main() -> ExitCode {
         "bench_gate: {current_path} vs {baseline_path} (max regression +{:.0}%):",
         max_regression * 100.0
     );
-    for base in &baseline {
-        if let Some(cur) = current.iter().find(|r| r.id == base.id) {
-            println!(
-                "  {:<40} {:>12.1} ns  baseline {:>12.1} ns  ({:+.1}%)",
-                base.id,
-                cur.mean_ns,
-                base.mean_ns,
-                (cur.mean_ns / base.mean_ns - 1.0) * 100.0
-            );
+    let verdicts = gate(&baseline, &current, max_regression);
+    for v in &verdicts {
+        match (v.status, v.current_ns, v.delta_pct()) {
+            (Status::Missing, _, _) => println!(
+                "  MISSING  {:<40} baseline {:>12.1} ns, absent from the current run",
+                v.id, v.baseline_ns
+            ),
+            (status, Some(cur), Some(delta)) => println!(
+                "  {:<7}  {:<40} {:>12.1} ns  baseline {:>12.1} ns  ({delta:+.1}%)",
+                if status == Status::Ok { "ok" } else { "FAIL" },
+                v.id,
+                cur,
+                v.baseline_ns,
+            ),
+            _ => unreachable!("non-missing verdicts always carry a current mean"),
         }
     }
     for cur in &current {
         if !baseline.iter().any(|b| b.id == cur.id) {
             println!(
-                "  {:<40} {:>12.1} ns  (new, not gated)",
+                "  new      {:<40} {:>12.1} ns  (not gated)",
                 cur.id, cur.mean_ns
             );
         }
     }
 
-    let failures = gate(&baseline, &current, max_regression);
-    if failures.is_empty() {
-        println!("bench_gate: PASS ({} ids within budget)", baseline.len());
+    let failed = verdicts.iter().filter(|v| v.failed()).count();
+    if failed == 0 {
+        println!("bench_gate: PASS ({} ids within budget)", verdicts.len());
         ExitCode::SUCCESS
     } else {
-        for f in &failures {
-            eprintln!("bench_gate: FAIL {f}");
-        }
+        eprintln!(
+            "bench_gate: FAIL ({failed} of {} ids regressed or missing)",
+            verdicts.len()
+        );
         ExitCode::FAILURE
     }
 }
@@ -183,6 +225,10 @@ mod tests {
         {"id": "cache_access/Nru", "mean_ns": 200.0, "samples": 20}
       ]
     }"#;
+
+    fn failures(verdicts: &[Verdict]) -> Vec<&Verdict> {
+        verdicts.iter().filter(|v| v.failed()).collect()
+    }
 
     #[test]
     fn parses_wrapped_baseline_objects() {
@@ -205,7 +251,7 @@ mod tests {
     }
 
     #[test]
-    fn gate_passes_within_budget() {
+    fn gate_passes_within_budget_and_reports_deltas() {
         let base = parse_records(BASELINE);
         let current = vec![
             Record {
@@ -217,11 +263,15 @@ mod tests {
                 mean_ns: 150.0,
             },
         ];
-        assert!(gate(&base, &current, 0.15).is_empty());
+        let verdicts = gate(&base, &current, 0.15);
+        assert!(failures(&verdicts).is_empty());
+        // Passing ids still carry their delta for the trajectory log.
+        assert!((verdicts[0].delta_pct().unwrap() - 14.0).abs() < 1e-9);
+        assert!((verdicts[1].delta_pct().unwrap() + 25.0).abs() < 1e-9);
     }
 
     #[test]
-    fn gate_fails_on_regression() {
+    fn gate_reports_every_regressed_id_not_just_the_first() {
         let base = parse_records(BASELINE);
         let current = vec![
             Record {
@@ -230,12 +280,13 @@ mod tests {
             },
             Record {
                 id: "cache_access/Nru".into(),
-                mean_ns: 200.0,
+                mean_ns: 260.0,
             },
         ];
-        let failures = gate(&base, &current, 0.15);
-        assert_eq!(failures.len(), 1);
-        assert!(failures[0].contains("cache_access/Lru"));
+        let verdicts = gate(&base, &current, 0.15);
+        let failed = failures(&verdicts);
+        assert_eq!(failed.len(), 2);
+        assert!(failed.iter().all(|v| v.status == Status::Regressed));
     }
 
     #[test]
@@ -245,9 +296,12 @@ mod tests {
             id: "cache_access/Lru".into(),
             mean_ns: 100.0,
         }];
-        let failures = gate(&base, &current, 0.15);
-        assert_eq!(failures.len(), 1);
-        assert!(failures[0].contains("missing"));
+        let verdicts = gate(&base, &current, 0.15);
+        let failed = failures(&verdicts);
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].status, Status::Missing);
+        assert_eq!(failed[0].id, "cache_access/Nru");
+        assert_eq!(failed[0].current_ns, None);
     }
 
     #[test]
@@ -267,12 +321,16 @@ mod tests {
                 mean_ns: 1.0,
             },
         ];
-        assert!(gate(&base, &current, 0.15).is_empty());
+        assert!(failures(&gate(&base, &current, 0.15)).is_empty());
     }
 
     #[test]
     fn committed_baselines_parse() {
-        for path in ["../../BENCH_0.json", "../../BENCH_1.json"] {
+        for path in [
+            "../../BENCH_0.json",
+            "../../BENCH_1.json",
+            "../../BENCH_2.json",
+        ] {
             let text = std::fs::read_to_string(path).unwrap();
             let records = parse_records(&text);
             assert!(
@@ -281,5 +339,17 @@ mod tests {
             );
             assert!(records.iter().all(|r| r.mean_ns > 0.0));
         }
+    }
+
+    #[test]
+    fn bench_2_gates_whole_system_throughput() {
+        let text = std::fs::read_to_string("../../BENCH_2.json").unwrap();
+        let records = parse_records(&text);
+        assert!(
+            records
+                .iter()
+                .any(|r| r.id.starts_with("engine_throughput/")),
+            "BENCH_2.json must carry the whole-system throughput id"
+        );
     }
 }

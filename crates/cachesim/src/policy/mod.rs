@@ -78,7 +78,9 @@ impl PolicyKind {
                 assoc,
             });
         }
-        if self == PolicyKind::Bt && !assoc.is_power_of_two() {
+        // The tree needs at least one internal node (`Bt::new` asserts
+        // `2..=32`), so a 1-way BT cache must be rejected here, not panic.
+        if self == PolicyKind::Bt && (assoc < 2 || !assoc.is_power_of_two()) {
             return Err(CacheError::UnsupportedAssociativity {
                 policy: "BT",
                 assoc,

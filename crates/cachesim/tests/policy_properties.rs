@@ -331,3 +331,234 @@ proptest! {
         prop_assert_eq!(whole_stats, halves_stats);
     }
 }
+
+// ---------------------------------------------------------------------------
+// SWAR kernel edge cases: the v2 batched kernel packs 8-bit tag signatures
+// eight-per-u64, so the shapes most likely to break it are the ones that
+// stress lane boundaries — a single lane (assoc 1 and 2), a partially
+// filled second/third lane word (assoc > 16), signature collisions that
+// force the full-tag verification path, and all-invalid (cold or reset)
+// sets whose stale signature bytes must stay gated by the valid bits.
+// ---------------------------------------------------------------------------
+
+/// The associativities the edge-case suite sweeps: single-way, two-way,
+/// and the byte-row boundary cases where a set's signatures span more
+/// than two u64 lane words (17, 20) up to the supported maximum (32).
+const EDGE_ASSOCS: [usize; 5] = [1, 2, 17, 20, 32];
+
+/// A 4-set cache of the given associativity (64 B lines).
+fn edge_cache(policy: PolicyKind, assoc: usize, num_cores: usize) -> Cache {
+    Cache::new(CacheConfig {
+        geometry: CacheGeometry::new(4 * assoc as u64 * 64, assoc, 64).unwrap(),
+        policy,
+        num_cores,
+        seed: 7,
+    })
+}
+
+/// Enforcement styles scaled to an arbitrary associativity: unpartitioned,
+/// a two-core way split (BT vectors on the aligned halves for BT, plain
+/// masks otherwise), and owner counters. Degenerate shapes fall back to
+/// the closest style that stays feasible: at assoc 1 both cores share the
+/// single way (masks may overlap; a counter quota per core cannot fit).
+fn enforcement_for_assoc(choice: usize, policy: PolicyKind, assoc: usize) -> Enforcement {
+    let lo = assoc.div_ceil(2);
+    match choice {
+        0 => Enforcement::None,
+        1 if policy == PolicyKind::Bt => Enforcement::bt_vectors(
+            vec![
+                WayMask::contiguous(0, lo),
+                WayMask::contiguous(lo, assoc - lo),
+            ],
+            assoc,
+        )
+        .unwrap(),
+        1 if assoc == 1 => Enforcement::masks(vec![WayMask::single(0), WayMask::single(0)]),
+        1 => Enforcement::masks(vec![
+            WayMask::contiguous(0, lo),
+            WayMask::contiguous(lo, assoc - lo),
+        ]),
+        _ if assoc == 1 => Enforcement::masks(vec![WayMask::single(0), WayMask::single(0)]),
+        _ => Enforcement::owner_counters(vec![lo, assoc - lo]),
+    }
+}
+
+/// Drive the same stream through the scalar oracle and the batched v2
+/// kernel (in `chunk`-sized pieces) and assert bit-identical statistics,
+/// batch summary, and final contents.
+fn assert_batch_matches_oracle(
+    policy: PolicyKind,
+    assoc: usize,
+    enforcement: Enforcement,
+    stream: &[Access],
+    chunk: usize,
+) -> Result<(), TestCaseError> {
+    let mut scalar = edge_cache(policy, assoc, 2);
+    scalar.set_enforcement(enforcement.clone());
+    let mut scalar_hits = 0u64;
+    let mut scalar_evictions = 0u64;
+    for a in stream {
+        let out = scalar.access(usize::from(a.core), a.addr, a.write);
+        scalar_hits += u64::from(out.hit);
+        scalar_evictions += u64::from(out.evicted.is_some());
+    }
+
+    let mut batched = edge_cache(policy, assoc, 2);
+    batched.set_enforcement(enforcement);
+    let mut batch = BatchStats::default();
+    for piece in stream.chunks(chunk.max(1)) {
+        batched.access_batch(piece, &mut batch);
+    }
+
+    prop_assert_eq!(scalar.stats(), batched.stats());
+    prop_assert_eq!(batch.accesses, stream.len() as u64);
+    prop_assert_eq!(batch.hits, scalar_hits);
+    prop_assert_eq!(batch.evictions, scalar_evictions);
+    for a in stream {
+        prop_assert_eq!(
+            scalar.probe(a.addr),
+            batched.probe(a.addr),
+            "addr {:#x} diverged (assoc {})",
+            a.addr,
+            assoc
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batch v2 ≡ scalar oracle at the SWAR lane-boundary associativities,
+    /// for every registered policy × enforcement style. (BT only supports
+    /// power-of-two shapes, so 17 and 20 skip it.)
+    #[test]
+    fn swar_kernel_matches_oracle_at_edge_associativities(
+        policy_idx in 0usize..POLICIES.len(),
+        assoc_idx in 0usize..EDGE_ASSOCS.len(),
+        enf_choice in 0usize..3,
+        ops in proptest::collection::vec(
+            (0usize..2, 0u64..256, 0usize..8),
+            1..250,
+        ),
+        chunk in 1usize..64,
+    ) {
+        let policy = POLICIES[policy_idx];
+        let assoc = EDGE_ASSOCS[assoc_idx];
+        prop_assume!(policy.validate_assoc(assoc).is_ok());
+        let stream: Vec<Access> = ops
+            .iter()
+            .map(|&(core, line, w)| Access::new(core, line << 6, w == 0))
+            .collect();
+        let enforcement = enforcement_for_assoc(enf_choice, policy, assoc);
+        assert_batch_matches_oracle(policy, assoc, enforcement, &stream, chunk)?;
+    }
+
+    /// A reset cache keeps its stale tag and signature planes but clears
+    /// the valid bits; re-filling it with a different working set must
+    /// behave exactly like the oracle (stale signature bytes may collide
+    /// with the new probes — `valid` has to gate every candidate). This is
+    /// also the duplicate-signatures-across-ways case: after the refill,
+    /// live ways sit next to stale bytes equal to other live signatures.
+    #[test]
+    fn reset_leaves_stale_signatures_harmless(
+        policy_idx in 0usize..POLICIES.len(),
+        assoc_idx in 0usize..EDGE_ASSOCS.len(),
+        first in proptest::collection::vec((0usize..2, 0u64..128), 1..150),
+        second in proptest::collection::vec((0usize..2, 0u64..128), 1..150),
+        chunk in 1usize..32,
+    ) {
+        let policy = POLICIES[policy_idx];
+        let assoc = EDGE_ASSOCS[assoc_idx];
+        prop_assume!(policy.validate_assoc(assoc).is_ok());
+        let to_stream = |ops: &[(usize, u64)]| -> Vec<Access> {
+            ops.iter().map(|&(core, line)| Access::read(core, line << 6)).collect()
+        };
+
+        let mut scalar = edge_cache(policy, assoc, 2);
+        for a in to_stream(&first) {
+            scalar.access(usize::from(a.core), a.addr, a.write);
+        }
+        scalar.reset();
+        scalar.reset_stats();
+        let mut batched = edge_cache(policy, assoc, 2);
+        let mut warm = BatchStats::default();
+        batched.access_batch(&to_stream(&first), &mut warm);
+        batched.reset();
+        batched.reset_stats();
+
+        let replay = to_stream(&second);
+        let mut batch = BatchStats::default();
+        for piece in replay.chunks(chunk) {
+            batched.access_batch(piece, &mut batch);
+        }
+        for a in &replay {
+            scalar.access(usize::from(a.core), a.addr, a.write);
+        }
+        prop_assert_eq!(scalar.stats(), batched.stats());
+        for a in &replay {
+            prop_assert_eq!(scalar.probe(a.addr), batched.probe(a.addr));
+        }
+    }
+}
+
+/// Tags engineered to share one 8-bit signature (the Fibonacci-hash top
+/// byte) force the kernel down its false-positive path on every probe:
+/// the SWAR scan flags several candidate ways and only the full-tag
+/// verification may decide. The kernel must still match the oracle's
+/// tie-breaks exactly.
+#[test]
+fn signature_collisions_are_verified_against_full_tags() {
+    // Mirror of the kernel's signature function; if the kernel's constant
+    // ever changes this stops colliding but the equivalence stays valid.
+    let sig = |tag: u64| (tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56) as u8;
+    for &assoc in &EDGE_ASSOCS {
+        // Lines mapping to set 0 of the 4-set edge cache whose tags all
+        // share the signature of tag 0 (tag = line >> 2 at 4 sets).
+        let colliding: Vec<u64> = (0u64..)
+            .map(|t| t * 4) // tag t, set 0
+            .filter(|&line| sig(line >> 2) == sig(0))
+            .take(2 * assoc)
+            .collect();
+        assert!(
+            colliding.len() >= assoc,
+            "collision search must find enough tags"
+        );
+
+        for policy in PolicyKind::ALL {
+            if policy.validate_assoc(assoc).is_err() {
+                continue;
+            }
+            // Two passes over the colliding set: the second pass probes
+            // sets whose live ways all carry the same signature byte.
+            let stream: Vec<Access> = colliding
+                .iter()
+                .chain(colliding.iter())
+                .map(|&line| Access::read(0, line << 6))
+                .collect();
+            assert_batch_matches_oracle(policy, assoc, Enforcement::None, &stream, 7)
+                .expect("colliding-signature stream must match the oracle");
+        }
+    }
+}
+
+/// All-invalid sets: a cold cache batch-filled with distinct lines must
+/// fill exactly the ways the oracle fills (lowest invalid way first) and
+/// record identical statistics, for every policy and edge associativity.
+#[test]
+fn all_invalid_sets_fill_like_the_oracle() {
+    for &assoc in &EDGE_ASSOCS {
+        for policy in PolicyKind::ALL {
+            if policy.validate_assoc(assoc).is_err() {
+                continue;
+            }
+            // One access per (set, way) slot: everything misses into an
+            // all-invalid set at some point during the stream.
+            let stream: Vec<Access> = (0..4 * assoc as u64)
+                .map(|line| Access::read(0, line << 6))
+                .collect();
+            assert_batch_matches_oracle(policy, assoc, Enforcement::None, &stream, 5)
+                .expect("cold-fill stream must match the oracle");
+        }
+    }
+}

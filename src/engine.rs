@@ -12,9 +12,9 @@
 //! What an engine simulates *under* is a first-class [`Scheme`] — the
 //! policy × partitioning point from the `plru_core` scheme registry. The
 //! builder takes one via [`SimEngineBuilder::scheme`] (parse it from its
-//! canonical acronym or construct it from a [`CpaConfig`]); the old
-//! separate `.policy(..)` / `.cpa(..)` setters survive one release as
-//! deprecated shims.
+//! canonical acronym or construct it from a [`CpaConfig`]). The old
+//! separate `.policy(..)` / `.cpa(..)` setters survived one release as
+//! deprecated shims and are gone; `Scheme` is the one config currency.
 //!
 //! Dispatch stays enum-based end to end ([`PolicyKind`] / [`CpaConfig`]):
 //! there are no trait objects anywhere on the per-access hot path. Every
@@ -67,8 +67,6 @@ pub use cmpsim::runner::{parallel_map, IsolationCache};
 pub struct SimEngineBuilder {
     cfg: MachineConfig,
     scheme: Option<Scheme>,
-    policy: Option<PolicyKind>,
-    cpa: Option<CpaConfig>,
     seed_salt: u64,
     isolation: Option<Arc<IsolationCache>>,
 }
@@ -78,8 +76,6 @@ impl Default for SimEngineBuilder {
         SimEngineBuilder {
             cfg: MachineConfig::paper_baseline(2),
             scheme: None,
-            policy: None,
-            cpa: None,
             seed_salt: 0,
             isolation: None,
         }
@@ -129,30 +125,10 @@ impl SimEngineBuilder {
     /// partitioned scheme (`Scheme::partitioned(CpaConfig::m_bt())`, or
     /// `"M-BT".parse()`) runs the dynamic controller.
     ///
-    /// This is the single configuration knob; mixing it with the
-    /// deprecated `.policy(..)`/`.cpa(..)` shims panics at `build`.
+    /// This is the single configuration knob — build a [`Scheme`] from a
+    /// bare [`PolicyKind`] or a [`CpaConfig`] and hand it over whole.
     pub fn scheme(mut self, scheme: Scheme) -> Self {
         self.scheme = Some(scheme);
-        self
-    }
-
-    /// Set the L2 replacement policy explicitly (the Figure 6 baselines
-    /// run it unpartitioned). With a CPA also set, `build` checks the two
-    /// agree — in either call order.
-    #[deprecated(note = "use `scheme(Scheme::bare(policy))` — `Scheme` is the one config currency")]
-    pub fn policy(mut self, policy: PolicyKind) -> Self {
-        self.policy = Some(policy);
-        self
-    }
-
-    /// Enable a dynamic CPA. Unless `policy` names one explicitly, the L2
-    /// replacement policy follows the configuration's profiling policy
-    /// (the paper always pairs them).
-    #[deprecated(
-        note = "use `scheme(Scheme::partitioned(cpa)?)` — `Scheme` is the one config currency"
-    )]
-    pub fn cpa(mut self, cpa: CpaConfig) -> Self {
-        self.cpa = Some(cpa);
         self
     }
 
@@ -170,38 +146,12 @@ impl SimEngineBuilder {
         self
     }
 
-    /// Finish the builder.
-    ///
-    /// # Panics
-    /// If `.scheme(..)` was mixed with the deprecated `.policy(..)` /
-    /// `.cpa(..)` shims, or — on the shim path — if the CPA and an
-    /// explicit policy name different replacement policies (regardless of
-    /// call order): the paper never mixes the profiling policy and the L2
-    /// policy, and `Scheme` carries the same invariant by construction.
+    /// Finish the builder. An unset scheme defaults to the paper's
+    /// unpartitioned LRU baseline (`L`).
     pub fn build(self) -> SimEngine {
-        let scheme = match (self.scheme, self.policy, self.cpa) {
-            (Some(scheme), None, None) => scheme,
-            (Some(_), _, _) => panic!(
-                "configure the engine either with .scheme(..) or with the deprecated \
-                 .policy(..)/.cpa(..) shims, not both"
-            ),
-            (None, explicit, Some(cpa)) => {
-                if let Some(explicit) = explicit {
-                    assert_eq!(
-                        cpa.policy,
-                        explicit,
-                        "CPA profiling policy and L2 policy must match (got {} vs {explicit:?})",
-                        cpa.acronym(),
-                    );
-                }
-                Scheme::partitioned(cpa).expect("CPA configuration must be registry-valid")
-            }
-            (None, Some(explicit), None) => Scheme::bare(explicit),
-            (None, None, None) => Scheme::bare(PolicyKind::Lru),
-        };
         SimEngine {
             cfg: self.cfg,
-            scheme,
+            scheme: self.scheme.unwrap_or(Scheme::bare(PolicyKind::Lru)),
             seed_salt: self.seed_salt,
             isolation: self.isolation.unwrap_or_default(),
         }
@@ -393,12 +343,6 @@ impl SimEngine {
         Ok(self.system_from_trace(path)?.run())
     }
 
-    /// The scheme acronym of this engine (`"L"`, `"M-0.75N"`, ...).
-    #[deprecated(note = "use `engine.scheme().to_string()`")]
-    pub fn scheme_acronym(&self) -> String {
-        self.scheme.to_string()
-    }
-
     /// Memoised isolation IPC of one benchmark (alone, full L2, this
     /// engine's policy and seed salt) — the `IPC_isolation` every relative
     /// metric divides by.
@@ -452,52 +396,21 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_cpa_shim_sets_the_matching_policy() {
-        let e = quick().cpa(CpaConfig::m_bt()).build();
+    fn scheme_from_cpa_config_sets_the_matching_policy() {
+        let scheme = Scheme::partitioned(CpaConfig::m_bt()).unwrap();
+        let e = quick().scheme(scheme).build();
         assert_eq!(e.policy(), PolicyKind::Bt);
         assert_eq!(e.scheme().to_string(), "M-BT");
     }
 
     #[test]
-    #[should_panic]
-    #[allow(deprecated)]
-    fn mismatched_policy_after_cpa_panics() {
-        let _ = quick()
-            .cpa(CpaConfig::m_nru(0.75))
-            .policy(PolicyKind::Lru)
-            .build();
-    }
-
-    #[test]
-    #[should_panic]
-    #[allow(deprecated)]
-    fn mismatched_policy_before_cpa_panics_too() {
-        // The check must not depend on builder call order.
-        let _ = quick()
-            .policy(PolicyKind::Lru)
-            .cpa(CpaConfig::m_nru(0.75))
-            .build();
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn matching_explicit_policy_and_cpa_is_fine() {
+    fn last_scheme_call_wins() {
         let e = quick()
-            .policy(PolicyKind::Nru)
-            .cpa(CpaConfig::m_nru(0.75))
-            .build();
-        assert_eq!(e.policy(), PolicyKind::Nru);
-    }
-
-    #[test]
-    #[should_panic]
-    #[allow(deprecated)]
-    fn mixing_scheme_with_the_shims_panics() {
-        let _ = quick()
             .scheme(Scheme::bare(PolicyKind::Nru))
-            .policy(PolicyKind::Nru)
+            .scheme(Scheme::bare(PolicyKind::Bt))
             .build();
+        assert_eq!(e.policy(), PolicyKind::Bt);
+        assert!(e.cpa().is_none());
     }
 
     #[test]

@@ -87,8 +87,9 @@ fn engine_fleet_matches_sequential_runs() {
     }
 }
 
-/// The deprecated pre-`Scheme` surface must keep producing bit-identical
-/// simulations (and identical schemes) until it is removed.
+/// The deprecated pre-`Scheme` `System` constructor must keep producing
+/// bit-identical simulations until it is removed. (The engine builder's
+/// `.policy()`/`.cpa()` shims are gone — `.scheme()` is the only knob.)
 #[test]
 #[allow(deprecated)]
 fn deprecated_pair_signatures_match_the_scheme_path() {
@@ -98,14 +99,11 @@ fn deprecated_pair_signatures_match_the_scheme_path() {
     let cpa = CpaConfig::m_nru(0.75);
 
     let legacy = System::from_workload(&cfg, &wl, cpa.policy, Some(cpa.clone()), 1).run();
-    let scheme = Scheme::partitioned(cpa.clone()).unwrap();
+    let scheme = Scheme::partitioned(cpa).unwrap();
     let current = System::from_workload_scheme(&cfg, &wl, &scheme, 1).run();
     assert_eq!(legacy.ipcs(), current.ipcs());
     assert_eq!(legacy.total_cycles, current.total_cycles);
 
-    // The builder shims resolve to the very same scheme.
-    let a = SimEngine::builder().machine(cfg.clone()).cpa(cpa).build();
-    let b = SimEngine::builder().machine(cfg).scheme(scheme).build();
-    assert_eq!(a.scheme(), b.scheme());
-    assert_eq!(a.scheme().to_string(), "M-0.75N");
+    let engine = SimEngine::builder().machine(cfg).scheme(scheme).build();
+    assert_eq!(engine.scheme().to_string(), "M-0.75N");
 }
