@@ -10,8 +10,9 @@ use crate::config::MachineConfig;
 use crate::system::System;
 use cachesim::PolicyKind;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Parallel map over `items`, preserving order. Work is distributed by an
 /// atomic cursor so uneven item costs (8-thread runs take 4x the work of
@@ -64,12 +65,58 @@ struct IsoKey {
     solo_cfg: MachineConfig,
 }
 
+/// Hit/miss counters of an [`IsolationCache`]: how often a requested
+/// isolation IPC was already memoised (`hits`) versus simulated from
+/// scratch (`misses`). `entries` is the current memo size. The sweep
+/// service surfaces these in its status response so a warm daemon can
+/// *prove* it skipped the solo runs of a repeated job.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoStats {
+    /// Memoised (benchmark, policy, salt, solo machine) points.
+    pub entries: u64,
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that had to simulate a solo run.
+    pub misses: u64,
+}
+
 /// Thread-safe memo of isolation IPCs (`IPC_isolation_i` in the metric
 /// definitions): each benchmark running alone with the full L2 under a
 /// given replacement policy.
+///
+/// The memo key is every input that changes the solo run's IPC — the
+/// benchmark, the L2 replacement policy, the trace seed salt, and the
+/// whole single-core machine derived from the caller's config
+/// (geometries, latencies, instruction target, base seed). The caller's
+/// *core count* is deliberately not part of the key: the solo machine is
+/// always single-core, so engines of different widths share entries.
+///
+/// Because the key is complete, a memoised value may be reused across
+/// *any* consumer that agrees on it — other engines, other sweeps, and
+/// (in the sweep service) other jobs for the whole daemon lifetime. The
+/// reuse guarantee is exact, not approximate: simulation is
+/// deterministic, so the memoised IPC is bit-identical to what a fresh
+/// solo run would produce. [`MemoStats`] counts how often each path was
+/// taken:
+///
+/// ```
+/// use cmpsim::{IsolationCache, MachineConfig};
+/// use cachesim::PolicyKind;
+///
+/// let mut cfg = MachineConfig::paper_baseline(2);
+/// cfg.insts_target = 20_000; // keep the doctest quick
+/// let memo = IsolationCache::new();
+/// let first = memo.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 0);
+/// let again = memo.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 0);
+/// assert_eq!(first, again, "memoised value is the exact solo IPC");
+/// let stats = memo.stats();
+/// assert_eq!((stats.misses, stats.hits, stats.entries), (1, 1, 1));
+/// ```
 #[derive(Debug, Default)]
 pub struct IsolationCache {
     map: Mutex<HashMap<IsoKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl IsolationCache {
@@ -100,8 +147,10 @@ impl IsolationCache {
             solo_cfg: solo,
         };
         if let Some(&ipc) = self.map.lock().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return ipc;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let profile = tracegen::benchmark(benchmark)
             .unwrap_or_else(|| panic!("unknown benchmark {benchmark}"));
         let mut sys = System::from_profiles(&key.solo_cfg, &[profile], policy, None, seed_salt);
@@ -127,6 +176,21 @@ impl IsolationCache {
     /// Number of memoised entries.
     pub fn len(&self) -> usize {
         self.map.lock().len()
+    }
+
+    /// Snapshot of the memo's hit/miss counters (see [`MemoStats`]).
+    ///
+    /// Counters are monotonic over the cache's lifetime; consumers that
+    /// want a per-interval view (the sweep service's per-job deltas)
+    /// subtract two snapshots. Two racing lookups of one uncached key may
+    /// both count as misses — the counters describe work performed, not
+    /// distinct keys.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            entries: self.len() as u64,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Is the cache empty?
@@ -179,6 +243,19 @@ mod tests {
         let b = cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 0);
         assert_eq!(a, b);
         assert_eq!(cache.len(), 1, "second call was memoised");
+    }
+
+    #[test]
+    fn memo_stats_count_hits_and_misses() {
+        let mut cfg = MachineConfig::paper_baseline(1);
+        cfg.insts_target = 20_000;
+        let cache = IsolationCache::new();
+        assert_eq!(cache.stats(), MemoStats::default());
+        cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 0);
+        cache.isolation_ipc(&cfg, "gzip", PolicyKind::Lru, 0);
+        cache.isolation_ipc(&cfg, "eon", PolicyKind::Lru, 0);
+        let s = cache.stats();
+        assert_eq!((s.entries, s.hits, s.misses), (2, 1, 2));
     }
 
     #[test]

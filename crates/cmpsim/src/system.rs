@@ -11,7 +11,7 @@ use tracegen::trace::{self, TraceError};
 use tracegen::{BenchmarkProfile, TraceGenerator, TraceSource, Workload};
 
 /// Per-core outcome of a simulation.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CoreResult {
     /// Committed-instruction target the IPC is measured over.
     pub insts: u64,
@@ -30,7 +30,7 @@ pub struct CoreResult {
 }
 
 /// Outcome of one full simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimResult {
     /// Per-core results in core order.
     pub cores: Vec<CoreResult>,

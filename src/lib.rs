@@ -32,6 +32,12 @@
 //! bit-identical to the live run it captured. See `docs/ARCHITECTURE.md`
 //! and `docs/SCENARIOS.md`.
 //!
+//! Sweeps also run as jobs on a resident daemon: the [`service`] layer
+//! (`sweepd` + `sweep --remote`) keeps the worker fleet and the
+//! isolation memo warm across jobs, streams per-case progress over a
+//! Unix socket, and checkpoints every job to a resumable journal. See
+//! `docs/SWEEP_SERVICE.md`.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -50,6 +56,7 @@
 
 pub mod engine;
 pub mod scenario;
+pub mod service;
 
 pub use cachesim;
 pub use cmpsim;
@@ -65,11 +72,15 @@ pub mod prelude {
     pub use crate::engine::{parallel_map, IsolationCache, SimEngine, SimEngineBuilder};
     pub use crate::scenario::{
         run_miss_curves, CaseReport, MissCurve, MissCurveReport, MissCurveSpec, ScenarioCase,
-        ScenarioError, ScenarioSpec, SchemeAxis, SweepReport, SweepRunner, WorkloadSel,
+        ScenarioError, ScenarioSpec, SchemeAxis, SweepReport, SweepRunner, WorkerPool, WorkloadSel,
+    };
+    pub use crate::service::{
+        DaemonStatus, ErrorCode, JobSummary, Request, Response, ServerConfig, SweepServer,
     };
     pub use cachesim::{
         Access, BatchStats, Cache, CacheConfig, CacheGeometry, Enforcement, PolicyKind, WayMask,
     };
+    pub use cmpsim::MemoStats;
     pub use cmpsim::{
         harmonic_mean_of_relative_ipc, throughput, weighted_speedup, MachineConfig, SimResult,
         System, WorkloadMetrics,

@@ -14,9 +14,13 @@
 //! * [`expand`] — deterministic expansion of a spec into an ordered list
 //!   of [`ScenarioCase`]s (dedup per axis, case count = product of axis
 //!   lengths, stable index order);
-//! * [`runner`] — [`SweepRunner`], a crossbeam work-stealing pool that
-//!   executes cases and collects results in spec order behind a shared
-//!   [`IsolationCache`](crate::engine::IsolationCache);
+//! * [`pool`] — [`WorkerPool`], the persistent work-stealing fleet that
+//!   actually runs cases behind a shared
+//!   [`IsolationCache`](crate::engine::IsolationCache) (kept resident —
+//!   and its memo warm — across jobs by the sweep service);
+//! * [`runner`] — [`SweepRunner`], the one-shot orchestration: expand a
+//!   spec, run its cases on an ephemeral pool, collect results in spec
+//!   order;
 //! * [`report`] — [`SweepReport`], the full per-case outcome with JSON and
 //!   aligned-text-table rendering, snapshot-tested against goldens under
 //!   `tests/goldens/`.
@@ -30,11 +34,13 @@
 //! [`SimEngine`]: crate::engine::SimEngine
 
 pub mod expand;
+pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod spec;
 
 pub use expand::{ScenarioCase, ScenarioError};
+pub use pool::{CaseOutcome, CaseTask, WorkerPool};
 pub use report::{CaseReport, MissCurve, MissCurveReport, SweepReport};
 pub use runner::{run_miss_curves, SweepRunner};
 pub use spec::{MissCurveSpec, ScenarioSpec, SchemeAxis, WorkloadSel};

@@ -7,7 +7,7 @@ use cmpsim::{SimResult, WorkloadMetrics};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one expanded case.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CaseReport {
     /// The case that ran (index, workload, scheme, shape, salt, ...).
     pub case: ScenarioCase,
@@ -25,7 +25,7 @@ pub struct CaseReport {
 }
 
 /// All case outcomes of one sweep, in spec expansion order.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepReport {
     /// The spec that produced the report (echoed verbatim).
     pub spec: ScenarioSpec,

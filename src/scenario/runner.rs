@@ -1,20 +1,25 @@
-//! Case execution: a crossbeam work-stealing pool over expanded cases.
+//! One-shot sweep orchestration over the persistent worker pool.
 //!
-//! Sweeps replace the flat `parallel_map` fan-out: cases are distributed
-//! round-robin onto per-worker deques, and a worker that drains its own
-//! queue steals from its siblings, so wildly uneven case costs (an
-//! 8-thread CPA run next to a 1-core baseline) still balance. Results
-//! land in slots indexed by `ScenarioCase::index`, which makes the report
-//! order — and its bytes — independent of the worker count; the
-//! thread-count-invariance test pins exactly that.
+//! Sweeps replace the flat `parallel_map` fan-out: cases go onto the
+//! shared work-stealing queue of a [`WorkerPool`](super::pool), so
+//! wildly uneven case costs (an 8-thread CPA run next to a 1-core
+//! baseline) still balance. Results land in slots indexed by
+//! `ScenarioCase::index`, which makes the report order — and its bytes —
+//! independent of the worker count; the thread-count-invariance test
+//! pins exactly that.
+//!
+//! `SweepRunner` is the *local* orchestration: spin up a pool, run one
+//! spec, tear the pool down. The resident `sweepd` daemon keeps one pool
+//! alive across many jobs instead (see [`crate::service`]); both sit on
+//! the same [`WorkerPool`] execution layer.
 
 use crate::engine::IsolationCache;
-use crate::scenario::expand::{ScenarioCase, ScenarioError};
+use crate::scenario::expand::ScenarioError;
+use crate::scenario::pool::WorkerPool;
 use crate::scenario::report::{CaseReport, MissCurve, MissCurveReport, SweepReport};
 use crate::scenario::spec::{MissCurveSpec, ScenarioSpec};
-use cmpsim::WorkloadMetrics;
-use crossbeam::deque::{Steal, Stealer, Worker};
-use std::sync::{Arc, Mutex};
+use crate::scenario::ScenarioCase;
+use std::sync::Arc;
 
 /// Executes the cases of a [`ScenarioSpec`] and collects a
 /// [`SweepReport`] in spec order.
@@ -90,97 +95,19 @@ impl SweepRunner {
     }
 
     /// Run pre-expanded cases, returning reports ordered by case index.
+    ///
+    /// Each call spins up an ephemeral [`WorkerPool`] sized to
+    /// `min(threads, cases)` and tears it down afterwards; a caller that
+    /// wants the fleet (and its warm memo) to survive across sweeps
+    /// holds a [`WorkerPool`] directly, as the sweep service does.
     pub fn run_cases(&self, cases: &[ScenarioCase]) -> Vec<CaseReport> {
         if cases.is_empty() {
             return Vec::new();
         }
-        let workers: usize = self.threads.min(cases.len());
-        let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
-        for i in 0..cases.len() {
-            locals[i % workers].push(i);
-        }
-        let stealers: Vec<Stealer<usize>> = locals.iter().map(|w| w.stealer()).collect();
-        let slots: Vec<Mutex<Option<CaseReport>>> =
-            (0..cases.len()).map(|_| Mutex::new(None)).collect();
-
-        crossbeam::scope(|scope| {
-            for (wi, local) in locals.iter().enumerate() {
-                let stealers = &stealers;
-                let slots = &slots;
-                let isolation = &self.isolation;
-                scope.spawn(move |_| {
-                    while let Some(i) = next_task(local, wi, stealers) {
-                        let report = run_case(&cases[i], isolation.clone());
-                        *slots[i].lock().unwrap() = Some(report);
-                    }
-                });
-            }
-        })
-        .expect("sweep worker panicked");
-
-        slots
-            .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("every case ran"))
-            .collect()
-    }
-}
-
-/// Pop locally, then steal from siblings; `None` once every queue drains.
-/// Tasks are never re-queued, so an all-empty pass means the sweep is done.
-fn next_task(local: &Worker<usize>, wi: usize, stealers: &[Stealer<usize>]) -> Option<usize> {
-    if let Some(i) = local.pop() {
-        return Some(i);
-    }
-    loop {
-        let mut retry = false;
-        for (si, stealer) in stealers.iter().enumerate() {
-            if si == wi {
-                continue;
-            }
-            match stealer.steal() {
-                Steal::Success(i) => return Some(i),
-                Steal::Retry => retry = true,
-                Steal::Empty => {}
-            }
-        }
-        if !retry {
-            return None;
-        }
-    }
-}
-
-/// Run one case to completion: simulate, compute the paper's metrics
-/// against the matching (salted) isolation runs, optionally capture the
-/// controller's allocation history.
-fn run_case(case: &ScenarioCase, isolation: Arc<IsolationCache>) -> CaseReport {
-    let engine = case.engine(isolation);
-    let workload = case.to_workload();
-    // One execution path whether or not history is wanted: `engine.run`
-    // is exactly `system(..).run()`, and keeping the system around is
-    // what lets the controller be read back afterwards. Recorded cases
-    // replay their container; expansion already stream-validated it, so
-    // a failure here is a real I/O race (file touched mid-sweep).
-    let mut sys = match &case.recorded {
-        Some(path) => engine
-            .system_from_trace(path)
-            .unwrap_or_else(|e| panic!("recorded trace `{path}` failed after validation: {e}")),
-        None => engine.system(&workload),
-    };
-    let result = sys.run();
-    let allocation_history = if case.capture_history {
-        sys.controller().map(|c| c.history().to_vec())
-    } else {
-        None
-    };
-    let isolation_ipcs = engine.isolation_ipcs(&workload.benchmarks);
-    let metrics = WorkloadMetrics::compute(&result.ipcs(), &isolation_ipcs);
-    CaseReport {
-        scheme: case.scheme.acronym(),
-        case: case.clone(),
-        metrics,
-        isolation_ipcs,
-        result,
-        allocation_history,
+        let pool = WorkerPool::new(self.threads.min(cases.len()), self.isolation.clone(), false);
+        let reports = pool.run_ordered(cases);
+        pool.shutdown();
+        reports
     }
 }
 

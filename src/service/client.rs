@@ -1,0 +1,126 @@
+//! Client helpers for talking to a running `sweepd`: one-shot requests
+//! and the submit-and-watch stream the `sweep --remote` mode is built
+//! on.
+
+use crate::scenario::{ScenarioSpec, SweepReport};
+use crate::service::protocol::{read_msg, write_msg, ErrorCode, ProtocolError, Request, Response};
+use std::fmt;
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A client-side failure: transport, protocol, or an error frame from
+/// the daemon.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Could not connect or the socket broke mid-exchange.
+    Io(io::Error),
+    /// The daemon sent something unreadable.
+    Protocol(ProtocolError),
+    /// The daemon answered with an error frame.
+    Server {
+        /// Machine-readable class from the frame.
+        code: ErrorCode,
+        /// The daemon's one-line description.
+        message: String,
+    },
+    /// The daemon closed the connection before the expected frame.
+    Closed,
+    /// The daemon sent a frame that makes no sense at this point of the
+    /// exchange (e.g. a second `submitted`).
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, message } => write!(f, "{code}: {message}"),
+            ClientError::Closed => write!(f, "daemon closed the connection early"),
+            ClientError::Unexpected(what) => write!(f, "unexpected frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        match e {
+            ProtocolError::Io(io) => ClientError::Io(io),
+            other => ClientError::Protocol(other),
+        }
+    }
+}
+
+/// Send one request and read one response frame. Error frames come back
+/// as [`ClientError::Server`], so an `Ok` is always a success shape.
+pub fn request(socket: &Path, req: &Request) -> Result<Response, ClientError> {
+    let mut stream = UnixStream::connect(socket)?;
+    write_msg(&mut stream, req)?;
+    match read_msg::<Response>(&mut stream)? {
+        Some(Response::Error { code, message }) => Err(ClientError::Server { code, message }),
+        Some(resp) => Ok(resp),
+        None => Err(ClientError::Closed),
+    }
+}
+
+/// A watched submission that ran to completion.
+#[derive(Debug)]
+pub struct WatchedRun {
+    /// The job id the daemon assigned.
+    pub job: u64,
+    /// The finished spec-order report — rendering it locally is
+    /// byte-identical to a local `sweep` run of the same spec.
+    pub report: SweepReport,
+}
+
+/// Submit a spec with `watch` and stream it to completion. `on_case` is
+/// called per finished case with `(completed, total)`.
+pub fn submit_and_watch(
+    socket: &Path,
+    spec: &ScenarioSpec,
+    mut on_case: impl FnMut(usize, usize),
+) -> Result<WatchedRun, ClientError> {
+    let mut stream = UnixStream::connect(socket)?;
+    write_msg(
+        &mut stream,
+        &Request::Submit {
+            spec: Box::new(spec.clone()),
+            watch: true,
+        },
+    )?;
+    let job = match read_msg::<Response>(&mut stream)? {
+        Some(Response::Submitted { job, .. }) => job,
+        Some(Response::Error { code, message }) => {
+            return Err(ClientError::Server { code, message })
+        }
+        Some(other) => return Err(ClientError::Unexpected(format!("{other:?}"))),
+        None => return Err(ClientError::Closed),
+    };
+    loop {
+        match read_msg::<Response>(&mut stream)? {
+            Some(Response::CaseDone {
+                completed, total, ..
+            }) => on_case(completed, total),
+            Some(Response::Done { report, .. }) => {
+                return Ok(WatchedRun {
+                    job,
+                    report: *report,
+                })
+            }
+            Some(Response::Error { code, message }) => {
+                return Err(ClientError::Server { code, message })
+            }
+            Some(other) => return Err(ClientError::Unexpected(format!("{other:?}"))),
+            None => return Err(ClientError::Closed),
+        }
+    }
+}

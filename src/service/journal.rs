@@ -1,0 +1,339 @@
+//! Resumable job journals: per-case checkpoints on disk.
+//!
+//! Every job `sweepd` runs appends to a JSONL journal so a daemon that
+//! dies mid-sweep loses *cases in flight*, never cases already finished.
+//! The format is append-only and line-oriented on purpose — a crash can
+//! only ever damage the final line:
+//!
+//! ```text
+//! {"journal":1,"name":"smoke-2t","total":4,"spec":{...}}   <- header
+//! {"case":2,"report":{...}}                                <- completion order
+//! {"case":0,"report":{...}}
+//! ...
+//! ```
+//!
+//! Case lines land in *completion* order (the pool finishes cases out of
+//! spec order); the index on each line is what puts the report back into
+//! its spec-order slot. [`JournalState::load`] tolerates a truncated or
+//! garbled **final** line — that is the expected crash artifact — but
+//! treats a bad line anywhere else as corruption and says so.
+//!
+//! Resume (`sweepd --resume <journal>`) loads the state, re-expands the
+//! spec, verifies the case count still matches, runs only the missing
+//! indices, and appends their checkpoints to the same file; the finished
+//! report is byte-identical to an uninterrupted run (pinned by
+//! `tests/sweep_service.rs`).
+
+use crate::scenario::{CaseReport, ScenarioSpec, SweepReport};
+use serde::{Deserialize, Serialize, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal format version written into (and required of) the header.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// A journal problem: I/O, or corruption that is not the tolerated
+/// truncated tail.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure, tagged with the path.
+    Io(PathBuf, std::io::Error),
+    /// Structural corruption (bad header, bad mid-file line, out-of-range
+    /// case index, spec that no longer expands to `total` cases).
+    Corrupt(PathBuf, String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(p, e) => write!(f, "journal {}: {e}", p.display()),
+            JournalError::Corrupt(p, msg) => write!(f, "journal {}: {msg}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// Append handle for a live job's journal.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    out: BufWriter<File>,
+}
+
+impl Journal {
+    /// Create (truncate) a journal and write the header line.
+    pub fn create(path: &Path, spec: &ScenarioSpec, total: usize) -> Result<Self, JournalError> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).map_err(|e| JournalError::Io(path.to_path_buf(), e))?;
+        }
+        let file = File::create(path).map_err(|e| JournalError::Io(path.to_path_buf(), e))?;
+        let mut journal = Journal {
+            path: path.to_path_buf(),
+            out: BufWriter::new(file),
+        };
+        let header = Value::Object(vec![
+            ("journal".to_string(), Value::U64(JOURNAL_VERSION)),
+            ("name".to_string(), Value::Str(spec.name.clone())),
+            ("total".to_string(), Value::U64(total as u64)),
+            ("spec".to_string(), spec.to_value()),
+        ]);
+        journal.write_line(&header)?;
+        Ok(journal)
+    }
+
+    /// Reopen an existing journal for appending (the resume path; the
+    /// caller has already [`load`](JournalState::load)ed its state).
+    ///
+    /// A crash can leave the file ending in a partial line — the same
+    /// artifact `load` tolerates. It is cut off here so new checkpoints
+    /// land on a clean line boundary instead of gluing onto the stub.
+    pub fn append_to(path: &Path) -> Result<Self, JournalError> {
+        let io = |e| JournalError::Io(path.to_path_buf(), e);
+        let text = std::fs::read_to_string(path).map_err(io)?;
+        if !text.is_empty() && !text.ends_with('\n') {
+            let boundary = text.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            let file = OpenOptions::new().write(true).open(path).map_err(io)?;
+            file.set_len(boundary as u64).map_err(io)?;
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| JournalError::Io(path.to_path_buf(), e))?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Checkpoint one finished case. The line is flushed to the OS before
+    /// returning, so a crash after this call cannot lose the case.
+    pub fn append_case(&mut self, report: &CaseReport) -> Result<(), JournalError> {
+        let line = Value::Object(vec![
+            ("case".to_string(), Value::U64(report.case.index as u64)),
+            ("report".to_string(), report.to_value()),
+        ]);
+        self.write_line(&line)
+    }
+
+    fn write_line(&mut self, v: &Value) -> Result<(), JournalError> {
+        let text = serde_json::to_string(v).expect("journal lines always serialize");
+        let io = |e| JournalError::Io(self.path.clone(), e);
+        self.out.write_all(text.as_bytes()).map_err(io)?;
+        self.out.write_all(b"\n").map_err(io)?;
+        self.out.flush().map_err(io)
+    }
+}
+
+/// A journal read back from disk: the job's spec plus every case that
+/// checkpointed before the writer stopped.
+#[derive(Debug)]
+pub struct JournalState {
+    /// The spec from the header, verbatim.
+    pub spec: ScenarioSpec,
+    /// Expanded case count recorded at job start.
+    pub total: usize,
+    /// Checkpointed reports by case index (a subset of `0..total`).
+    pub completed: BTreeMap<usize, CaseReport>,
+}
+
+impl JournalState {
+    /// Parse a journal file. A truncated/garbled *final* line is the
+    /// normal crash artifact and is dropped silently; damage anywhere
+    /// else is an error.
+    pub fn load(path: &Path) -> Result<Self, JournalError> {
+        let corrupt = |msg: String| JournalError::Corrupt(path.to_path_buf(), msg);
+        let text =
+            std::fs::read_to_string(path).map_err(|e| JournalError::Io(path.to_path_buf(), e))?;
+        let lines: Vec<&str> = text.lines().collect();
+        let Some((header_line, case_lines)) = lines.split_first() else {
+            return Err(corrupt("empty journal (no header line)".to_string()));
+        };
+
+        let header: Value = serde_json::from_str(header_line)
+            .map_err(|e| corrupt(format!("bad header line: {e}")))?;
+        let version = u64::from_value(
+            header
+                .field("journal")
+                .map_err(|e| corrupt(e.to_string()))?,
+        )
+        .map_err(|e| corrupt(format!("bad header `journal` field: {e}")))?;
+        if version != JOURNAL_VERSION {
+            return Err(corrupt(format!(
+                "journal version {version} (this build reads {JOURNAL_VERSION})"
+            )));
+        }
+        let total = usize::from_value(header.field("total").map_err(|e| corrupt(e.to_string()))?)
+            .map_err(|e| corrupt(format!("bad header `total` field: {e}")))?;
+        let spec =
+            ScenarioSpec::from_value(header.field("spec").map_err(|e| corrupt(e.to_string()))?)
+                .map_err(|e| corrupt(format!("bad header `spec`: {e}")))?;
+
+        let mut completed = BTreeMap::new();
+        for (i, line) in case_lines.iter().enumerate() {
+            let is_last = i + 1 == case_lines.len();
+            let parsed: Result<(usize, CaseReport), String> = (|| {
+                let v: Value = serde_json::from_str(line).map_err(|e| e.to_string())?;
+                let index = usize::from_value(v.field("case").map_err(|e| e.to_string())?)
+                    .map_err(|e| format!("bad `case` field: {e}"))?;
+                let report = CaseReport::from_value(v.field("report").map_err(|e| e.to_string())?)
+                    .map_err(|e| format!("bad `report` field: {e}"))?;
+                Ok((index, report))
+            })();
+            match parsed {
+                Ok((index, report)) => {
+                    if index >= total {
+                        return Err(corrupt(format!(
+                            "case index {index} out of range (total {total})"
+                        )));
+                    }
+                    completed.insert(index, report);
+                }
+                // The tolerated crash artifact: an interrupted final append.
+                Err(_) if is_last => break,
+                Err(e) => {
+                    return Err(corrupt(format!("bad case line {}: {e}", i + 2)));
+                }
+            }
+        }
+        Ok(JournalState {
+            spec,
+            total,
+            completed,
+        })
+    }
+
+    /// Case indices that still need to run.
+    pub fn missing(&self) -> Vec<usize> {
+        (0..self.total)
+            .filter(|i| !self.completed.contains_key(i))
+            .collect()
+    }
+
+    /// Assemble the finished report once every slot is filled (`None`
+    /// while any case is missing). Consumes the checkpointed reports.
+    pub fn into_report(self) -> Option<SweepReport> {
+        if self.completed.len() != self.total {
+            return None;
+        }
+        Some(SweepReport {
+            spec: self.spec,
+            cases: self.completed.into_values().collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::spec::WorkloadSel;
+    use crate::scenario::SweepRunner;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("plru-journal-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("job.journal")
+    }
+
+    fn tiny_report() -> SweepReport {
+        let spec = ScenarioSpec {
+            name: "journal-t".into(),
+            insts: Some(12_000),
+            workloads: vec![WorkloadSel::Profiles(vec!["gzip".into()])],
+            schemes: vec!["L".into(), "N".into()].into(),
+            ..Default::default()
+        };
+        SweepRunner::with_threads(2).run(&spec).unwrap()
+    }
+
+    #[test]
+    fn journal_round_trips_a_full_job() {
+        let path = tmp("full");
+        let report = tiny_report();
+        let mut j = Journal::create(&path, &report.spec, report.cases.len()).unwrap();
+        // Completion order is not spec order; write backwards to prove it.
+        for case in report.cases.iter().rev() {
+            j.append_case(case).unwrap();
+        }
+        drop(j);
+        let state = JournalState::load(&path).unwrap();
+        assert_eq!(state.total, report.cases.len());
+        assert!(state.missing().is_empty());
+        let rebuilt = state.into_report().unwrap();
+        assert_eq!(rebuilt.to_json_pretty(), report.to_json_pretty());
+    }
+
+    #[test]
+    fn truncated_final_line_is_tolerated_midfile_damage_is_not() {
+        let path = tmp("trunc");
+        let report = tiny_report();
+        let mut j = Journal::create(&path, &report.spec, report.cases.len()).unwrap();
+        for case in &report.cases {
+            j.append_case(case).unwrap();
+        }
+        drop(j);
+
+        // Chop the last line mid-JSON: the classic crash artifact.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let keep = text.trim_end().rfind('\n').unwrap() + 30;
+        std::fs::write(&path, &text[..keep]).unwrap();
+        let state = JournalState::load(&path).unwrap();
+        assert_eq!(state.completed.len(), report.cases.len() - 1);
+        assert_eq!(state.missing(), vec![report.cases.len() - 1]);
+        assert!(state.into_report().is_none(), "incomplete journal");
+
+        // The same damage on a *middle* line is corruption.
+        let mut lines: Vec<String> = text.trim_end().lines().map(String::from).collect();
+        lines[1].truncate(20);
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+        match JournalState::load(&path) {
+            Err(JournalError::Corrupt(_, msg)) => assert!(msg.contains("line 2"), "{msg}"),
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_to_continues_an_existing_journal() {
+        let path = tmp("resume");
+        let report = tiny_report();
+        let mut j = Journal::create(&path, &report.spec, report.cases.len()).unwrap();
+        j.append_case(&report.cases[1]).unwrap();
+        drop(j);
+
+        let state = JournalState::load(&path).unwrap();
+        assert_eq!(state.missing(), vec![0]);
+        let mut j = Journal::append_to(&path).unwrap();
+        j.append_case(&report.cases[0]).unwrap();
+        drop(j);
+
+        let rebuilt = JournalState::load(&path).unwrap().into_report().unwrap();
+        assert_eq!(rebuilt.to_json_pretty(), report.to_json_pretty());
+    }
+
+    #[test]
+    fn bad_headers_are_readable_errors() {
+        let path = tmp("hdr");
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(
+            JournalState::load(&path),
+            Err(JournalError::Corrupt(_, _))
+        ));
+        std::fs::write(
+            &path,
+            "{\"journal\":99,\"name\":\"x\",\"total\":1,\"spec\":{}}\n",
+        )
+        .unwrap();
+        match JournalState::load(&path) {
+            Err(JournalError::Corrupt(_, msg)) => assert!(msg.contains("version 99"), "{msg}"),
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! The resident sweep service: `sweepd`, its wire protocol, job
+//! journals, and the client side of `sweep --remote`.
+//!
+//! A local `sweep` run pays the isolation-run tax every time: each
+//! (benchmark, policy, salt) solo simulation reruns from scratch because
+//! the process — and with it the
+//! [`IsolationCache`](crate::engine::IsolationCache) memo — dies with
+//! the sweep. The service keeps one [`WorkerPool`](crate::scenario::pool)
+//! resident so the memo stays warm across jobs: resubmitting a spec
+//! skips every solo run the first submission paid for.
+//!
+//! Module map (dependencies point downward; `src/scenario/` never
+//! depends on anything here):
+//!
+//! * [`protocol`] — framed JSON requests/responses and the error-code
+//!   vocabulary shared by daemon and client;
+//! * [`journal`] — per-case JSONL checkpoints that make a job resumable
+//!   after a crash (`sweepd --resume`);
+//! * [`server`] — [`SweepServer`]: the accept loop, per-job collectors,
+//!   spec-order reassembly and memo-delta accounting;
+//! * [`client`] — one-shot [`request`]s and [`submit_and_watch`], the
+//!   building blocks of `sweep --remote`.
+//!
+//! The wire format, lifecycle and operational runbook are documented in
+//! `docs/SWEEP_SERVICE.md`.
+
+pub mod client;
+pub mod journal;
+pub mod protocol;
+pub mod server;
+
+pub use client::{request, submit_and_watch, ClientError, WatchedRun};
+pub use journal::{Journal, JournalError, JournalState};
+pub use protocol::{
+    read_msg, write_msg, DaemonStatus, ErrorCode, JobSummary, ProtocolError, Request, Response,
+    MAX_FRAME_BYTES,
+};
+pub use server::{ServerConfig, ServerError, SweepServer};

@@ -67,6 +67,22 @@ impl Value {
     }
 }
 
+// A tree is trivially its own serialization: these impls let callers
+// parse to a raw `Value` first and commit to a concrete shape later
+// (the sweep service does this to tell "unreadable frame" apart from
+// "well-formed JSON that is not a known request").
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 /// (De)serialization error.
 #[derive(Debug, Clone)]
 pub struct Error {
