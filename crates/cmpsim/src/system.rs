@@ -223,18 +223,6 @@ impl System {
         Self::from_profiles_scheme(cfg, &workload.profiles(), scheme, seed_salt)
     }
 
-    /// Build from a Table II workload.
-    #[deprecated(note = "use `System::from_workload_scheme` with a `plru_core::Scheme`")]
-    pub fn from_workload(
-        cfg: &MachineConfig,
-        workload: &Workload,
-        l2_policy: PolicyKind,
-        cpa: Option<CpaConfig>,
-        seed_salt: u64,
-    ) -> Self {
-        Self::from_workload_scheme(cfg, workload, &pair_scheme(l2_policy, cpa), seed_salt)
-    }
-
     /// Build a system replaying a recorded trace container (see
     /// [`tracegen::trace`]) under a [`Scheme`]: per-core streams come from
     /// the file, the timing model from the profiles named in its metadata.
@@ -251,8 +239,29 @@ impl System {
         scheme: &Scheme,
         seed_salt: u64,
     ) -> Result<Self, TraceError> {
+        Self::from_trace_scheme_with(
+            cfg,
+            path,
+            scheme,
+            seed_salt,
+            &trace::DecodeOptions::default(),
+        )
+    }
+
+    /// [`System::from_trace_scheme`] with explicit
+    /// [`DecodeOptions`](tracegen::trace::DecodeOptions): a non-zero
+    /// worker count decodes trace chunks ahead of consumption on a
+    /// shared pool. The replayed streams are identical at any worker
+    /// count — the knob only changes where the decode work runs.
+    pub fn from_trace_scheme_with(
+        cfg: &MachineConfig,
+        path: impl AsRef<Path>,
+        scheme: &Scheme,
+        seed_salt: u64,
+        decode: &trace::DecodeOptions,
+    ) -> Result<Self, TraceError> {
         let path = path.as_ref();
-        let (info, sources) = trace::open_sources(path)?;
+        let (info, sources) = trace::open_sources_with(path, decode)?;
         if info.meta.threads() != cfg.num_cores {
             return Err(TraceError::Format(format!(
                 "trace {} records {} threads, but the machine has {} cores",

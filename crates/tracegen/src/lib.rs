@@ -45,6 +45,7 @@
 
 pub mod benchmark;
 pub mod component;
+pub mod dict;
 pub mod generator;
 pub mod io;
 pub mod record;

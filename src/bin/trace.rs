@@ -17,7 +17,7 @@
 //! code 1, never panics.
 
 use plru_repro::prelude::*;
-use plru_repro::tracegen::trace::{self, TraceMeta, TraceWriter};
+use plru_repro::tracegen::trace::{self, Compression, TraceMeta, TraceWriter};
 use plru_repro::tracegen::TraceGenerator;
 use std::io::BufWriter;
 use std::process::exit;
@@ -28,22 +28,27 @@ fn usage() -> ! {
          \n\
          trace record (--workload NAME | --benchmarks A,B,..) --out FILE\n\
          \u{20}            [--insts N] [--seed N] [--salt N] [--scheme S]\n\
-         \u{20}            [--records N]\n\
+         \u{20}            [--records N] [--compress]\n\
          \u{20}   capture a workload to FILE. Default: run a full simulation\n\
          \u{20}   (scheme S, default L) and record exactly the streams it\n\
          \u{20}   consumes, plus headroom. With --records N, skip the\n\
          \u{20}   simulation and record N generator records per thread;\n\
-         \u{20}   such traces replay cyclically at any --insts.\n\
+         \u{20}   such traces replay cyclically at any --insts. With\n\
+         \u{20}   --compress, write a block-compressed v2 container\n\
+         \u{20}   (replays identically; v1 stays the default format).\n\
          \n\
          trace replay FILE [--insts N] [--seed N] [--salt N] [--scheme S]\n\
-         \u{20}            [--json PATH]\n\
+         \u{20}            [--json PATH] [--decode-workers N]\n\
          \u{20}   validate FILE and run it through the engine. Defaults to\n\
          \u{20}   the recorded insts/seed/salt/scheme, so a bare replay\n\
-         \u{20}   reproduces the capture run bit for bit.\n\
+         \u{20}   reproduces the capture run bit for bit. --decode-workers\n\
+         \u{20}   (default 2, 0 = inline) decodes chunks ahead of the\n\
+         \u{20}   simulation; the result is identical at any count.\n\
          \n\
          trace info FILE [--json]\n\
          \u{20}   print the container header (format version, workload\n\
-         \u{20}   metadata, per-thread record counts)."
+         \u{20}   metadata, per-thread record counts, chunk codec and\n\
+         \u{20}   compression ratio)."
     );
     exit(2);
 }
@@ -60,9 +65,10 @@ struct Parsed {
     flags: Vec<(String, Option<String>)>,
 }
 
-/// `json_is_bare`: `info` uses `--json` as a value-less switch, `replay`
-/// as `--json PATH`.
-fn parse(args: &[String], json_is_bare: bool) -> Parsed {
+/// `bare` names the value-less switches of the subcommand (`info` uses
+/// `--json` as one, `record` uses `--compress`; `replay`'s `--json PATH`
+/// takes a value).
+fn parse(args: &[String], bare: &[&str]) -> Parsed {
     let mut positional = Vec::new();
     let mut flags = Vec::new();
     let mut it = args.iter();
@@ -70,7 +76,7 @@ fn parse(args: &[String], json_is_bare: bool) -> Parsed {
         if a == "--help" || a == "-h" {
             usage();
         } else if let Some(name) = a.strip_prefix("--") {
-            if json_is_bare && name == "json" {
+            if bare.contains(&name) {
                 flags.push((name.to_string(), None));
             } else {
                 let v = it
@@ -117,7 +123,14 @@ impl Parsed {
 /// Build the engine a subcommand's scheme/machine flags describe. The
 /// scheme string goes through the registry's one canonical grammar
 /// (`plru_core::Scheme`); parse failures are readable one-line errors.
-fn engine_for(scheme_str: &str, cores: usize, insts: u64, seed: u64, salt: u64) -> SimEngine {
+fn engine_for(
+    scheme_str: &str,
+    cores: usize,
+    insts: u64,
+    seed: u64,
+    salt: u64,
+    decode_workers: usize,
+) -> SimEngine {
     let scheme: Scheme = scheme_str.parse().unwrap_or_else(|e| fail(e));
     let mut cfg = MachineConfig::paper_baseline(cores);
     cfg.insts_target = insts;
@@ -126,11 +139,12 @@ fn engine_for(scheme_str: &str, cores: usize, insts: u64, seed: u64, salt: u64) 
         .machine(cfg)
         .seed_salt(salt)
         .scheme(scheme)
+        .decode_workers(decode_workers)
         .build()
 }
 
 fn cmd_record(args: &[String]) {
-    let p = parse(args, false);
+    let p = parse(args, &["compress"]);
     p.reject_unknown(&[
         "workload",
         "benchmarks",
@@ -140,6 +154,7 @@ fn cmd_record(args: &[String]) {
         "salt",
         "scheme",
         "records",
+        "compress",
     ]);
     if !p.positional.is_empty() {
         fail(format!("unexpected argument `{}`", p.positional[0]));
@@ -165,6 +180,11 @@ fn cmd_record(args: &[String]) {
     let insts = p.get_u64("insts").unwrap_or(baseline.insts_target);
     let seed = p.get_u64("seed").unwrap_or(baseline.seed);
     let salt = p.get_u64("salt").unwrap_or(0);
+    let compression = if p.has("compress") {
+        Compression::Dict
+    } else {
+        Compression::None
+    };
 
     if let Some(records) = p.get_u64("records") {
         // Generator mode: stream N records per thread, no simulation.
@@ -191,7 +211,7 @@ fn cmd_record(args: &[String]) {
             scheme: None,
         };
         let file = std::fs::File::create(out).unwrap_or_else(|e| fail(format!("{out}: {e}")));
-        let mut w = TraceWriter::create(BufWriter::new(file), &meta)
+        let mut w = TraceWriter::create_with(BufWriter::new(file), &meta, compression)
             .unwrap_or_else(|e| fail(format!("{out}: {e}")));
         for (i, profile) in wl.profiles().into_iter().enumerate() {
             let mut g = TraceGenerator::new(profile, System::thread_seed(&cfg, i, salt));
@@ -216,9 +236,10 @@ fn cmd_record(args: &[String]) {
         insts,
         seed,
         salt,
+        0,
     );
     let result = engine
-        .record_trace(&wl, out)
+        .record_trace_with(&wl, out, compression)
         .unwrap_or_else(|e| fail(format!("{out}: {e}")));
     let info = trace::load_info(out).unwrap_or_else(|e| fail(format!("{out}: {e}")));
     eprintln!(
@@ -232,8 +253,8 @@ fn cmd_record(args: &[String]) {
 }
 
 fn cmd_replay(args: &[String]) {
-    let p = parse(args, false);
-    p.reject_unknown(&["insts", "seed", "salt", "scheme", "json"]);
+    let p = parse(args, &[]);
+    p.reject_unknown(&["insts", "seed", "salt", "scheme", "json", "decode-workers"]);
     let path = match p.positional.as_slice() {
         [one] => one,
         _ => fail("replay needs exactly one trace file"),
@@ -255,7 +276,10 @@ fn cmd_replay(args: &[String]) {
         .unwrap_or_else(|| "L".to_string());
     let seed = p.get_u64("seed").unwrap_or(meta.seed);
     let salt = p.get_u64("salt").unwrap_or(meta.seed_salt);
-    let engine = engine_for(&scheme, meta.threads(), insts, seed, salt);
+    // Decode ahead of the simulation by default; 0 falls back to the
+    // inline sequential reader. Either way the result is bit-identical.
+    let decode_workers = p.get_u64("decode-workers").unwrap_or(2) as usize;
+    let engine = engine_for(&scheme, meta.threads(), insts, seed, salt, decode_workers);
     let result = engine
         .run_trace(path)
         .unwrap_or_else(|e| fail(format!("{path}: {e}")));
@@ -292,13 +316,13 @@ fn cmd_replay(args: &[String]) {
 }
 
 fn cmd_info(args: &[String]) {
-    let p = parse(args, true);
+    let p = parse(args, &["json"]);
     p.reject_unknown(&["json"]);
     let path = match p.positional.as_slice() {
         [one] => one,
         _ => fail("info needs exactly one trace file"),
     };
-    let info = trace::load_info(path).unwrap_or_else(|e| fail(format!("{path}: {e}")));
+    let (info, stats) = trace::scan_stats(path).unwrap_or_else(|e| fail(format!("{path}: {e}")));
     if p.has("json") {
         println!(
             "{}",
@@ -308,6 +332,21 @@ fn cmd_info(args: &[String]) {
     }
     let meta = &info.meta;
     println!("format version: {}", info.version);
+    if info.version >= trace::TRACE_VERSION_V2 {
+        println!(
+            "codec: dict ({} of {} chunks compressed, {} -> {} payload bytes, ratio {:.2}x)",
+            stats.dict_chunks,
+            stats.chunks,
+            stats.raw_bytes,
+            stats.payload_bytes,
+            stats.ratio()
+        );
+    } else {
+        println!(
+            "codec: none ({} chunks, {} payload bytes)",
+            stats.chunks, stats.payload_bytes
+        );
+    }
     println!("workload: {} ({} threads)", meta.workload, meta.threads());
     println!("benchmarks: {}", meta.benchmarks.join(", "));
     match meta.insts {

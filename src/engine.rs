@@ -56,7 +56,9 @@ use std::fs::File;
 use std::io::BufWriter;
 use std::path::Path;
 use std::sync::{Arc, Mutex};
-use tracegen::trace::{self, CapturingSource, TraceError, TraceSource, TraceWriter};
+use tracegen::trace::{
+    self, CapturingSource, Compression, DecodeOptions, TraceError, TraceSource, TraceWriter,
+};
 use tracegen::{BenchmarkProfile, TraceGenerator, TraceMeta, Workload};
 
 pub use cmpsim::runner::{parallel_map, IsolationCache};
@@ -69,6 +71,7 @@ pub struct SimEngineBuilder {
     scheme: Option<Scheme>,
     seed_salt: u64,
     isolation: Option<Arc<IsolationCache>>,
+    decode_workers: usize,
 }
 
 impl Default for SimEngineBuilder {
@@ -78,6 +81,7 @@ impl Default for SimEngineBuilder {
             scheme: None,
             seed_salt: 0,
             isolation: None,
+            decode_workers: 0,
         }
     }
 }
@@ -146,6 +150,15 @@ impl SimEngineBuilder {
         self
     }
 
+    /// Decode trace-replay chunks ahead of consumption on `n` shared
+    /// worker threads (0, the default, decodes inline). Replay output is
+    /// identical at any worker count; this only moves the decode work
+    /// off the simulation thread.
+    pub fn decode_workers(mut self, n: usize) -> Self {
+        self.decode_workers = n;
+        self
+    }
+
     /// Finish the builder. An unset scheme defaults to the paper's
     /// unpartitioned LRU baseline (`L`).
     pub fn build(self) -> SimEngine {
@@ -154,6 +167,7 @@ impl SimEngineBuilder {
             scheme: self.scheme.unwrap_or(Scheme::bare(PolicyKind::Lru)),
             seed_salt: self.seed_salt,
             isolation: self.isolation.unwrap_or_default(),
+            decode_workers: self.decode_workers,
         }
     }
 }
@@ -167,6 +181,7 @@ pub struct SimEngine {
     scheme: Scheme,
     seed_salt: u64,
     isolation: Arc<IsolationCache>,
+    decode_workers: usize,
 }
 
 impl Default for SimEngine {
@@ -254,6 +269,19 @@ impl SimEngine {
         workload: &Workload,
         path: impl AsRef<Path>,
     ) -> Result<SimResult, TraceError> {
+        self.record_trace_with(workload, path, Compression::None)
+    }
+
+    /// [`SimEngine::record_trace`] with an explicit [`Compression`]
+    /// choice: [`Compression::Dict`] writes a block-compressed v2
+    /// container (`Compression::None` keeps the byte-stable v1 format).
+    /// The recorded record streams are identical either way.
+    pub fn record_trace_with(
+        &self,
+        workload: &Workload,
+        path: impl AsRef<Path>,
+        compression: Compression,
+    ) -> Result<SimResult, TraceError> {
         let profiles = workload.profiles();
         let meta = TraceMeta {
             workload: workload.name.clone(),
@@ -263,9 +291,10 @@ impl SimEngine {
             insts: self.cfg.insts_target,
             scheme: Some(self.scheme.to_string()),
         };
-        let writer = Arc::new(Mutex::new(TraceWriter::create(
+        let writer = Arc::new(Mutex::new(TraceWriter::create_with(
             BufWriter::new(File::create(path)?),
             &meta,
+            compression,
         )?));
         let sources: Vec<Box<dyn TraceSource>> = profiles
             .iter()
@@ -332,7 +361,13 @@ impl SimEngine {
                 info.meta.insts, self.cfg.insts_target
             )));
         }
-        System::from_trace_scheme(&self.cfg, path, &self.scheme, self.seed_salt)
+        System::from_trace_scheme_with(
+            &self.cfg,
+            path,
+            &self.scheme,
+            self.seed_salt,
+            &DecodeOptions::workers(self.decode_workers),
+        )
     }
 
     /// Replay the recorded trace at `path` to completion.

@@ -87,22 +87,22 @@ fn engine_fleet_matches_sequential_runs() {
     }
 }
 
-/// The deprecated pre-`Scheme` `System` constructor must keep producing
-/// bit-identical simulations until it is removed. (The engine builder's
-/// `.policy()`/`.cpa()` shims are gone — `.scheme()` is the only knob.)
+/// The surviving pre-`Scheme` pair constructors must keep producing
+/// bit-identical simulations to the `Scheme` path. (`System::from_workload`
+/// and the engine builder's `.policy()`/`.cpa()` shims are gone —
+/// `.scheme()` / `from_workload_scheme` are the only knobs.)
 #[test]
-#[allow(deprecated)]
-fn deprecated_pair_signatures_match_the_scheme_path() {
+fn pair_signatures_match_the_scheme_path() {
     let mut cfg = MachineConfig::paper_baseline(2);
     cfg.insts_target = 40_000;
     let wl = workload("2T_05").unwrap();
     let cpa = CpaConfig::m_nru(0.75);
 
-    let legacy = System::from_workload(&cfg, &wl, cpa.policy, Some(cpa.clone()), 1).run();
+    let pair = System::from_profiles(&cfg, &wl.profiles(), cpa.policy, Some(cpa.clone()), 1).run();
     let scheme = Scheme::partitioned(cpa).unwrap();
     let current = System::from_workload_scheme(&cfg, &wl, &scheme, 1).run();
-    assert_eq!(legacy.ipcs(), current.ipcs());
-    assert_eq!(legacy.total_cycles, current.total_cycles);
+    assert_eq!(pair.ipcs(), current.ipcs());
+    assert_eq!(pair.total_cycles, current.total_cycles);
 
     let engine = SimEngine::builder().machine(cfg).scheme(scheme).build();
     assert_eq!(engine.scheme().to_string(), "M-0.75N");

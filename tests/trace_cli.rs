@@ -73,6 +73,57 @@ fn record_then_replay_reproduces_the_live_golden() {
 }
 
 #[test]
+fn compressed_record_then_replay_reproduces_the_live_golden() {
+    // `record --compress` writes a v2 container; replay — at several
+    // decode-worker counts — must still equal the live golden bit for bit.
+    let path = tmp("plru_cli_v2_roundtrip.pltc");
+    let rec = run(trace_bin().args([
+        "record",
+        "--workload",
+        "2T_06",
+        "--insts",
+        "20000",
+        "--compress",
+        "--out",
+        path.to_str().unwrap(),
+    ]));
+    assert!(rec.status.success(), "record failed: {}", stderr(&rec));
+
+    let info = run(trace_bin().args(["info", path.to_str().unwrap()]));
+    let text = stdout(&info);
+    assert!(text.contains("format version: 2"), "{text}");
+    assert!(text.contains("codec: dict ("), "{text}");
+    assert!(text.contains("ratio "), "{text}");
+
+    let live = SimEngine::builder()
+        .cores(2)
+        .insts(20_000)
+        .build()
+        .run(&workload("2T_06").unwrap());
+    let live_json = serde_json::to_string_pretty(&live).unwrap();
+
+    for workers in ["1", "4"] {
+        let json_path = tmp(&format!("plru_cli_v2_roundtrip_{workers}.json"));
+        let rep = run(trace_bin().args([
+            "replay",
+            path.to_str().unwrap(),
+            "--decode-workers",
+            workers,
+            "--json",
+            json_path.to_str().unwrap(),
+        ]));
+        assert!(rep.status.success(), "replay failed: {}", stderr(&rep));
+        let cli_json = std::fs::read_to_string(&json_path).unwrap();
+        let _ = std::fs::remove_file(&json_path);
+        assert!(
+            cli_json == live_json,
+            "v2 replay at {workers} workers drifted from the live golden"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn info_output_matches_the_snapshot() {
     // Pinned against the shipped smoke container: format version,
     // metadata echo and per-thread record counts, byte for byte.
@@ -80,6 +131,7 @@ fn info_output_matches_the_snapshot() {
     assert!(out.status.success(), "info failed: {}", stderr(&out));
     let expected = "\
 format version: 1
+codec: none (11 chunks, 199628 payload bytes)
 workload: 2T_06 (2 threads)
 benchmarks: bzip2, eon
 captured: scheme L, insts 20000, seed 12648430, salt 0

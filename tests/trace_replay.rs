@@ -105,28 +105,110 @@ fn replay_beyond_the_recorded_target_is_a_readable_error() {
 }
 
 #[test]
+fn v2_replay_is_bit_identical_to_v1_and_live_at_any_worker_count() {
+    // The tentpole acceptance check: a dict-compressed v2 container must
+    // replay to the exact SimResult of both the v1 container and live
+    // synthesis, whether decoded inline (0 workers) or through the
+    // parallel pipeline (1 and 4 workers).
+    use plru_repro::tracegen::trace::Compression;
+
+    let wl = workload("2T_02").unwrap();
+    let engine = SimEngine::builder()
+        .cores(2)
+        .insts(30_000)
+        .scheme(Scheme::partitioned(CpaConfig::m_nru(0.75)).unwrap())
+        .build();
+    let v1 = tmp("plru_replay_v1_twin.pltc");
+    let v2 = tmp("plru_replay_v2_twin.pltc");
+
+    let live = engine.run(&wl);
+    engine
+        .record_trace_with(&wl, &v1, Compression::None)
+        .unwrap();
+    engine
+        .record_trace_with(&wl, &v2, Compression::Dict)
+        .unwrap();
+    assert!(
+        std::fs::metadata(&v2).unwrap().len() < std::fs::metadata(&v1).unwrap().len(),
+        "dict compression must shrink the generator-stream container"
+    );
+
+    let v1_result = engine.run_trace(&v1).unwrap();
+    assert_eq!(result_json(&v1_result), result_json(&live));
+    for workers in [0usize, 1, 4] {
+        let e = SimEngine::builder()
+            .cores(2)
+            .insts(30_000)
+            .scheme(Scheme::partitioned(CpaConfig::m_nru(0.75)).unwrap())
+            .decode_workers(workers)
+            .build();
+        let replayed = e.run_trace(&v2).unwrap();
+        assert_eq!(
+            result_json(&replayed),
+            result_json(&live),
+            "v2 replay at {workers} decode workers drifted from live"
+        );
+    }
+    let _ = std::fs::remove_file(&v1);
+    let _ = std::fs::remove_file(&v2);
+}
+
+#[test]
 fn shipped_smoke_trace_is_current() {
     // The shipped container must be exactly what recording produces
     // today; a drift in the generator, the capture path or the format
     // shows up here before it confuses a sweep.
-    let shipped = "scenarios/traces/smoke_2T_06.pltc";
+    use plru_repro::tracegen::trace::Compression;
     let wl = workload("2T_06").unwrap();
-    let fresh = tmp("plru_replay_shipped_regen.pltc");
-    smoke_engine().record_trace(&wl, &fresh).unwrap();
-    let fresh_bytes = std::fs::read(&fresh).unwrap();
-    let _ = std::fs::remove_file(&fresh);
+    for (shipped, compression) in [
+        ("scenarios/traces/smoke_2T_06.pltc", Compression::None),
+        ("scenarios/traces/smoke_2T_06_v2.pltc", Compression::Dict),
+    ] {
+        let fresh = tmp("plru_replay_shipped_regen.pltc");
+        smoke_engine()
+            .record_trace_with(&wl, &fresh, compression)
+            .unwrap();
+        let fresh_bytes = std::fs::read(&fresh).unwrap();
+        let _ = std::fs::remove_file(&fresh);
 
-    if std::env::var("UPDATE_TRACES").is_ok() {
-        std::fs::write(shipped, &fresh_bytes).unwrap();
-        return;
+        if std::env::var("UPDATE_TRACES").is_ok() {
+            std::fs::write(shipped, &fresh_bytes).unwrap();
+            continue;
+        }
+        let shipped_bytes = std::fs::read(shipped).unwrap_or_else(|e| {
+            panic!("{shipped}: {e}; regenerate with UPDATE_TRACES=1 cargo test --test trace_replay")
+        });
+        assert!(
+            shipped_bytes == fresh_bytes,
+            "{shipped} drifted from a fresh recording; if intentional, regenerate with \
+             UPDATE_TRACES=1 cargo test --test trace_replay"
+        );
     }
-    let shipped_bytes = std::fs::read(shipped).unwrap_or_else(|e| {
-        panic!("{shipped}: {e}; regenerate with UPDATE_TRACES=1 cargo test --test trace_replay")
-    });
-    assert!(
-        shipped_bytes == fresh_bytes,
-        "{shipped} drifted from a fresh recording; if intentional, regenerate with \
-         UPDATE_TRACES=1 cargo test --test trace_replay"
+}
+
+#[test]
+fn sweeps_accept_v2_recorded_workloads() {
+    // The scenario expansion's recorded axis validates and runs a
+    // dict-compressed container exactly like a v1 one.
+    let spec = ScenarioSpec {
+        name: "v2".into(),
+        insts: Some(20_000),
+        workloads: vec![WorkloadSel::Recorded(
+            "scenarios/traces/smoke_2T_06_v2.pltc".into(),
+        )],
+        schemes: vec!["L".into()].into(),
+        ..Default::default()
+    };
+    let cases = spec.expand().unwrap();
+    assert_eq!(cases.len(), 1);
+    assert_eq!(cases[0].workload, "2T_06");
+
+    let report = SweepRunner::with_threads(1).run(&spec).unwrap();
+    let live = smoke_engine().run(&workload("2T_06").unwrap());
+    assert_eq!(
+        result_json(&report.cases[0].result),
+        result_json(&live),
+        "v2 recorded sweep row diverged from live"
     );
 }
 
@@ -219,6 +301,16 @@ fn sweeps_over_generator_streamed_traces_cycle_instead_of_panicking() {
     let _ = std::fs::remove_file(&path);
     assert_eq!(report.cases.len(), 1);
     assert!(report.cases[0].result.ipcs().iter().all(|&i| i > 0.0));
+}
+
+#[test]
+fn trace_length_cap_mirrors_the_service_frame_cap() {
+    // Both untrusted-length ceilings are deliberately the same number;
+    // whoever raises one must decide about the other.
+    assert_eq!(
+        trace::MAX_META_BYTES as u64,
+        plru_repro::service::protocol::MAX_FRAME_BYTES as u64
+    );
 }
 
 #[test]
