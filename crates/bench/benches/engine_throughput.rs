@@ -39,6 +39,24 @@ fn bench_engine_throughput(c: &mut Criterion) {
         eprintln!("engine_throughput/{label}: {accesses} simulated L2 accesses per run");
         group.bench_function(label, |b| b.iter(|| black_box(engine.run(&wl))));
     }
+
+    // Many-core scaling point: 64 tenants (the 2T_02 mix recycled), mask
+    // CPA with sketch8 profilers — the configuration the 64-core sweeps
+    // run, so throughput regressions at scale gate too.
+    let wl64 = workload("2T_02x64").unwrap();
+    let engine = SimEngine::builder()
+        .cores(64)
+        .insts(8_000)
+        .seed_salt(1)
+        .scheme(Scheme::partitioned(CpaConfig::m_l()).unwrap())
+        .fidelity(plru_core::ProfilerFidelity::Sketch { fp_bits: 8 })
+        .build();
+    let result = engine.run(&wl64);
+    let accesses = result.l2_stats.total().accesses;
+    eprintln!("engine_throughput/M-L-sketch8-64t: {accesses} simulated L2 accesses per run");
+    group.bench_function("M-L-sketch8-64t", |b| {
+        b.iter(|| black_box(engine.run(&wl64)))
+    });
     group.finish();
 }
 

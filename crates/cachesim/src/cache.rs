@@ -604,7 +604,9 @@ impl Cache {
         cfg.policy
             .validate_assoc(cfg.geometry.assoc())
             .expect("invalid policy/associativity");
-        assert!(cfg.num_cores >= 1 && cfg.num_cores <= 64);
+        // Core IDs ride in u8 planes (`Access::core`, the per-line owner
+        // plane), so 256 tenants is the hard ceiling.
+        assert!(cfg.num_cores >= 1 && cfg.num_cores <= 256);
         let lines = cfg.geometry.num_sets() * cfg.geometry.assoc();
         Cache {
             geom: cfg.geometry,

@@ -10,7 +10,7 @@
 //! replacement metadata (LRU ranks / NRU used bits / BT tree bits) lives in
 //! the matching [`crate::profiler`] implementation.
 
-use cachesim::{Addr, CacheGeometry};
+use cachesim::{Addr, CacheError, CacheGeometry};
 
 /// Tag storage of one sampled ATD.
 #[derive(Debug, Clone)]
@@ -25,21 +25,32 @@ pub struct AtdTags {
 
 impl AtdTags {
     /// Build an ATD for a cache of shape `geom`, sampling one in
-    /// `sample_ratio` sets (`sample_ratio = 1` = full ATD).
-    pub fn new(geom: CacheGeometry, sample_ratio: usize) -> Self {
-        assert!(sample_ratio >= 1);
-        assert!(
-            geom.num_sets() >= sample_ratio,
-            "need at least one sampled set"
-        );
+    /// `sample_ratio` sets (`sample_ratio = 1` = full ATD). Returns a
+    /// one-line error when the ratio leaves no sampled set, so config
+    /// parsing can surface it instead of panicking.
+    pub fn new(geom: CacheGeometry, sample_ratio: usize) -> Result<Self, CacheError> {
+        if sample_ratio < 1 {
+            return Err(CacheError::BadGeometry {
+                reason: "ATD sample ratio must be at least 1".into(),
+            });
+        }
+        if geom.num_sets() < sample_ratio {
+            return Err(CacheError::BadGeometry {
+                reason: format!(
+                    "ATD sample ratio {sample_ratio} leaves no sampled set \
+                     ({} sets)",
+                    geom.num_sets()
+                ),
+            });
+        }
         let sampled_sets = geom.num_sets() / sample_ratio;
-        AtdTags {
+        Ok(AtdTags {
             geom,
             sample_ratio,
             sampled_sets,
             tags: vec![0; sampled_sets * geom.assoc()],
             valid: vec![false; sampled_sets * geom.assoc()],
-        }
+        })
     }
 
     /// The L2 geometry this ATD mirrors.
@@ -122,7 +133,7 @@ mod tests {
 
     #[test]
     fn sampling_keeps_one_in_thirty_two_sets() {
-        let atd = AtdTags::new(l2_geom(), 32);
+        let atd = AtdTags::new(l2_geom(), 32).unwrap();
         assert_eq!(atd.sampled_sets(), 32);
     }
 
@@ -130,7 +141,7 @@ mod tests {
     fn paper_atd_size_is_about_3_25_kb() {
         // Section III: "the ATD size per core is 3.25KB (for 64-bit
         // architecture with 47 tag bits and 2MB, 16-way L2 cache)".
-        let atd = AtdTags::new(l2_geom(), 32);
+        let atd = AtdTags::new(l2_geom(), 32).unwrap();
         let bytes = atd.storage_bytes(64);
         // 32 sets x 16 ways x 48 bits = 3 KB tags + valid; the paper's
         // 3.25 KB includes per-line LRU bits — accept the 2.5..3.5 KB band.
@@ -142,7 +153,7 @@ mod tests {
 
     #[test]
     fn only_multiple_of_ratio_sets_are_sampled() {
-        let atd = AtdTags::new(l2_geom(), 32);
+        let atd = AtdTags::new(l2_geom(), 32).unwrap();
         let g = l2_geom();
         // Set index of addr = lines bits: set k = addr (k << 7).
         let addr_of_set = |s: u64| s << 7;
@@ -155,7 +166,7 @@ mod tests {
 
     #[test]
     fn lookup_fill_round_trip() {
-        let mut atd = AtdTags::new(l2_geom(), 32);
+        let mut atd = AtdTags::new(l2_geom(), 32).unwrap();
         let addr = 0x40_0000u64; // maps to set 0 (multiple of 32 sets x 128)
         let set = atd.sampled_set(addr).unwrap();
         let tag = atd.tag(addr);
@@ -167,23 +178,27 @@ mod tests {
 
     #[test]
     fn full_atd_with_ratio_one() {
-        let atd = AtdTags::new(l2_geom(), 1);
+        let atd = AtdTags::new(l2_geom(), 1).unwrap();
         assert_eq!(atd.sampled_sets(), 1024);
         assert!(atd.sampled_set(0x1234_5678).is_some());
     }
 
     #[test]
     fn reset_invalidates() {
-        let mut atd = AtdTags::new(l2_geom(), 32);
+        let mut atd = AtdTags::new(l2_geom(), 32).unwrap();
         atd.fill(0, 0, 42);
         atd.reset();
         assert_eq!(atd.lookup(0, 42), None);
     }
 
     #[test]
-    #[should_panic]
-    fn ratio_larger_than_sets_panics() {
+    fn ratio_larger_than_sets_is_a_one_line_error() {
         let g = CacheGeometry::new(4096, 4, 64).unwrap(); // 16 sets
-        let _ = AtdTags::new(g, 32);
+        let err = AtdTags::new(g, 32).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("no sampled set"), "unexpected error: {msg}");
+        assert!(!msg.contains('\n'), "error must be one line");
+        let err = AtdTags::new(CacheGeometry::new(4096, 4, 64).unwrap(), 0).unwrap_err();
+        assert!(err.to_string().contains("at least 1"));
     }
 }

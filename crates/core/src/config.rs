@@ -12,6 +12,7 @@
 //! The paper's evaluated configurations: `C-L` (baseline), `M-L`,
 //! `M-1.0N`, `M-0.75N`, `M-0.5N`, `M-BT`.
 
+use crate::sketch::ProfilerFidelity;
 use cachesim::PolicyKind;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -110,6 +111,12 @@ pub struct CpaConfig {
     /// (guards the scaled-down runs against deciding off a cold, noisy
     /// histogram).
     pub min_samples_per_thread: u64,
+    /// Tag-store fidelity of the profiling ATDs: `None`/`Exact` keeps the
+    /// paper's full tag rows, `Sketch { fp_bits }` swaps in the
+    /// cuckoo-filter membership sketch ([`crate::sketch::SketchAtd`]).
+    /// Optional so serialized configs from before the sketch existed
+    /// still parse.
+    pub fidelity: Option<ProfilerFidelity>,
 }
 
 impl CpaConfig {
@@ -126,7 +133,13 @@ impl CpaConfig {
             interval_cycles: 1_000_000,
             sample_ratio: 32,
             min_samples_per_thread: 32,
+            fidelity: None,
         }
+    }
+
+    /// The effective tag-store fidelity (`None` means [`ProfilerFidelity::Exact`]).
+    pub fn fidelity(&self) -> ProfilerFidelity {
+        self.fidelity.unwrap_or(ProfilerFidelity::Exact)
     }
 
     /// The paper's baseline `C-L`: owner counters + true LRU.

@@ -1,11 +1,11 @@
 //! The dynamic CPA controller: ties profiling, selection and enforcement
 //! together at every interval boundary.
 
-use crate::config::{CpaConfig, Objective, Selector};
-use crate::enforce::{build_enforcement, equal_allocation};
+use crate::config::{CpaConfig, EnforcementStyle, Objective, Selector};
+use crate::enforce::{build_clustered_enforcement, equal_allocation};
 use crate::minmisses::{fairness_minimax, min_misses_dp, min_misses_greedy};
 use crate::profiler::{Profiler, ProfilerState};
-use cachesim::{Addr, CacheGeometry, Enforcement};
+use cachesim::{Addr, CacheError, CacheGeometry, Enforcement};
 
 /// Dynamic cache-partitioning controller for one shared L2.
 ///
@@ -16,6 +16,19 @@ use cachesim::{Addr, CacheGeometry, Enforcement};
 ///    controller's per-thread ATDs sample internally);
 /// 3. at every `interval_cycles` boundary call
 ///    [`CpaController::on_interval`] and install the returned enforcement.
+///
+/// ## Many-core clustering
+///
+/// When more cores share the L2 than it has ways (64-256 tenants on a
+/// 16/32-way cache), no partition can give every core a private way.
+/// The controller then groups cores round-robin into
+/// `clusters = min(num_cores, assoc)` clusters: each core keeps its own
+/// profiling ATD, per-cluster miss curves are the elementwise sum of
+/// the members' curves, MinMisses partitions between *clusters*, and
+/// mask enforcement hands every member the cluster's mask. Owner
+/// counters cannot express shared quotas, so `C-*` schemes reject the
+/// many-core case at construction with a one-line error
+/// ([`CpaController::try_new`]).
 ///
 /// ```
 /// use cachesim::CacheGeometry;
@@ -39,7 +52,11 @@ use cachesim::{Addr, CacheGeometry, Enforcement};
 pub struct CpaController {
     config: CpaConfig,
     assoc: usize,
+    /// Partitioned entities: the core count at paper scale, `assoc / 2`
+    /// when more cores than ways share the cache.
+    clusters: usize,
     profilers: Vec<ProfilerState>,
+    /// Ways per cluster.
     allocation: Vec<usize>,
     /// Allocation decided at each interval boundary (for analysis).
     history: Vec<Vec<usize>>,
@@ -48,32 +65,76 @@ pub struct CpaController {
 
 impl CpaController {
     /// Build a controller for `num_cores` threads sharing an L2 of shape
-    /// `geom`.
+    /// `geom`. Panics on invalid combinations; the validated path is
+    /// [`Self::try_new`].
     pub fn new(config: CpaConfig, geom: CacheGeometry, num_cores: usize) -> Self {
-        assert!(
-            num_cores >= 1 && num_cores <= geom.assoc(),
-            "every thread needs at least one way"
-        );
+        Self::try_new(config, geom, num_cores).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build a controller, surfacing invalid combinations (zero cores,
+    /// owner counters with more cores than ways, a sample ratio leaving
+    /// no sampled set, an unsupported sketch fingerprint width) as
+    /// one-line errors config parsing can report.
+    pub fn try_new(
+        config: CpaConfig,
+        geom: CacheGeometry,
+        num_cores: usize,
+    ) -> Result<Self, CacheError> {
+        if num_cores < 1 {
+            return Err(CacheError::BadPartition {
+                reason: "a partitioned cache needs at least one core".into(),
+            });
+        }
+        let clusters = if num_cores <= geom.assoc() {
+            num_cores
+        } else {
+            // Half the ways, so the per-cluster MinMisses DP (>= 1 way
+            // each, summing to assoc) is not forced into all-ones.
+            (geom.assoc() / 2).max(1)
+        };
+        if clusters < num_cores && config.enforcement == EnforcementStyle::OwnerCounters {
+            return Err(CacheError::BadPartition {
+                reason: format!(
+                    "owner-counter enforcement needs one quota way per core: \
+                     {num_cores} cores exceed {} ways (use an M-* scheme)",
+                    geom.assoc()
+                ),
+            });
+        }
         let profilers = (0..num_cores)
             .map(|_| {
-                ProfilerState::new(
+                ProfilerState::try_new(
                     config.policy,
                     geom,
                     config.sample_ratio,
                     config.nru_scale,
                     config.nru_update,
+                    config.fidelity(),
                 )
             })
-            .collect();
-        let allocation = equal_allocation(num_cores, geom.assoc());
-        CpaController {
+            .collect::<Result<Vec<_>, _>>()?;
+        let allocation = equal_allocation(clusters, geom.assoc());
+        Ok(CpaController {
             assoc: geom.assoc(),
+            clusters,
             profilers,
             allocation,
             history: Vec::new(),
             intervals: 0,
             config,
-        }
+        })
+    }
+
+    /// Number of partitioned clusters (`num_cores` at paper scale,
+    /// `assoc / 2` at many-core scale).
+    pub fn clusters(&self) -> usize {
+        self.clusters
+    }
+
+    /// The cluster a core belongs to.
+    #[inline]
+    pub fn cluster_of(&self, core: usize) -> usize {
+        core % self.clusters
     }
 
     /// The configuration acronym (e.g. `M-0.75N`).
@@ -93,8 +154,13 @@ impl CpaController {
 
     /// The enforcement for the starting equal split.
     pub fn initial_enforcement(&self) -> Enforcement {
-        build_enforcement(&self.config, &self.allocation, self.assoc)
+        build_clustered_enforcement(&self.config, &self.allocation, self.assoc, self.num_cores())
             .expect("equal split is always enforceable")
+    }
+
+    /// Number of cores (= profilers) this controller serves.
+    pub fn num_cores(&self) -> usize {
+        self.profilers.len()
     }
 
     /// Feed one L2 access of `core` into its profiler.
@@ -129,11 +195,24 @@ impl CpaController {
                     self.adapt_nru_scales(observed);
                 }
             }
-            let curves: Vec<Vec<u64>> = self
-                .profilers
-                .iter()
-                .map(|p| p.sdh().miss_curve())
-                .collect();
+            // Per-cluster curves: at paper scale one curve per core; at
+            // many-core scale the elementwise sum of the members' curves
+            // (the cluster's demand as one aggregate tenant).
+            let curves: Vec<Vec<u64>> = if self.clusters == self.profilers.len() {
+                self.profilers
+                    .iter()
+                    .map(|p| p.sdh().miss_curve())
+                    .collect()
+            } else {
+                let mut sums = vec![vec![0u64; self.assoc + 1]; self.clusters];
+                for (c, p) in self.profilers.iter().enumerate() {
+                    let curve = p.sdh().miss_curve();
+                    for (acc, v) in sums[c % self.clusters].iter_mut().zip(curve) {
+                        *acc += v;
+                    }
+                }
+                sums
+            };
             self.allocation = match self.config.objective {
                 Objective::Fairness => fairness_minimax(&curves, self.assoc),
                 Objective::MinMisses => match self.config.selector {
@@ -147,7 +226,7 @@ impl CpaController {
         }
         self.intervals += 1;
         self.history.push(self.allocation.clone());
-        build_enforcement(&self.config, &self.allocation, self.assoc)
+        build_clustered_enforcement(&self.config, &self.allocation, self.assoc, self.num_cores())
             .expect("MinMisses allocations are always enforceable")
     }
 
@@ -159,8 +238,9 @@ impl CpaController {
         const STEP: f64 = 0.05;
         const DEADBAND: f64 = 0.15;
         let ratio = self.config.sample_ratio as f64;
+        let clusters = self.clusters;
         for (c, p) in self.profilers.iter_mut().enumerate() {
-            let alloc = self.allocation[c];
+            let alloc = self.allocation[c % clusters];
             let predicted = p.sdh().misses_with_ways(alloc) as f64 * ratio;
             let observed = observed_misses.get(c).copied().unwrap_or(0) as f64;
             if observed < 1.0 || predicted < 1.0 {
@@ -176,7 +256,8 @@ impl CpaController {
         }
     }
 
-    /// The most recent allocation (ways per thread).
+    /// The most recent allocation: ways per cluster (= per thread
+    /// whenever `num_cores <= assoc`).
     pub fn allocation(&self) -> &[usize] {
         &self.allocation
     }
@@ -212,7 +293,7 @@ impl CpaController {
         for p in &mut self.profilers {
             p.reset();
         }
-        self.allocation = equal_allocation(self.profilers.len(), self.assoc);
+        self.allocation = equal_allocation(self.clusters, self.assoc);
         self.history.clear();
         self.intervals = 0;
     }
@@ -396,9 +477,65 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn more_threads_than_ways_rejected() {
-        let g = CacheGeometry::new(4096, 2, 64).unwrap();
-        let _ = CpaController::new(CpaConfig::m_l(), g, 4);
+    fn owner_counters_reject_more_cores_than_ways_with_one_line_error() {
+        let err = CpaController::try_new(CpaConfig::c_l(), geom(), 64).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("use an M-* scheme"), "unexpected error: {msg}");
+        assert!(!msg.contains('\n'), "error must be one line");
+    }
+
+    #[test]
+    fn masks_cluster_more_cores_than_ways() {
+        // 64 cores on 16 ways: 8 clusters of 8 cores each.
+        let mut c = CpaController::try_new(CpaConfig::m_l(), geom(), 64).unwrap();
+        assert_eq!(c.clusters(), 8);
+        assert_eq!(c.num_cores(), 64);
+        assert_eq!(c.allocation().len(), 8);
+        assert_eq!(c.allocation().iter().sum::<usize>(), 16);
+        match c.initial_enforcement() {
+            Enforcement::Masks(masks) => {
+                assert_eq!(masks.len(), 64);
+                assert_eq!(masks[0], masks[8], "cores 0/8 share cluster 0");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Cluster 0's members (cores 0, 8, 16, 24) each loop a 5-line
+        // working set; everyone else touches one line. Cluster 0 should
+        // win ways (5 <= the 9 ways reachable once the 7 one-line
+        // clusters keep their single way).
+        for _ in 0..100 {
+            for m in 0..4 {
+                for n in 0..5 {
+                    c.observe(m * 8, sampled_addr(n));
+                }
+            }
+            for core in 1..8 {
+                c.observe(core, sampled_addr(100));
+            }
+        }
+        let e = c.on_interval();
+        assert!(e.is_partitioned());
+        let alloc = c.allocation();
+        assert_eq!(alloc.iter().sum::<usize>(), 16);
+        assert!(
+            alloc[0] > 2,
+            "the demanding cluster should grow past its equal share: {alloc:?}"
+        );
+    }
+
+    #[test]
+    fn sketch_fidelity_flows_through_the_controller() {
+        use crate::sketch::ProfilerFidelity;
+        let mut cfg = CpaConfig::m_l();
+        cfg.fidelity = Some(ProfilerFidelity::Sketch { fp_bits: 12 });
+        let c = CpaController::try_new(cfg, geom(), 2).unwrap();
+        assert_eq!(
+            c.profilers()[0].fidelity(),
+            ProfilerFidelity::Sketch { fp_bits: 12 }
+        );
+        let mut bad = CpaConfig::m_l();
+        bad.fidelity = Some(ProfilerFidelity::Sketch { fp_bits: 9 });
+        let err = CpaController::try_new(bad, geom(), 2).unwrap_err();
+        assert!(err.to_string().contains("8, 12 or 16"));
     }
 }

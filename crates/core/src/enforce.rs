@@ -102,6 +102,57 @@ pub fn build_enforcement(
     }
 }
 
+/// Build the L2 [`Enforcement`] for `num_cores` cores grouped round-robin
+/// into `cluster_alloc.len()` clusters (core `c` -> cluster
+/// `c % clusters`), where `cluster_alloc[k]` is the ways of cluster `k`.
+///
+/// This is how CPA scales past `assoc` tenants: mask enforcement permits
+/// several cores to *share* one mask, so each cluster's cores jointly own
+/// its contiguous way range (and jointly fill one profiling miss curve).
+/// With `num_cores == clusters` it reduces to [`build_enforcement`]
+/// exactly. Owner counters cannot share — quotas must sum to the
+/// associativity with one way minimum per core — so `C-*` schemes reject
+/// the many-core case with a one-line error.
+pub fn build_clustered_enforcement(
+    cfg: &CpaConfig,
+    cluster_alloc: &[usize],
+    assoc: usize,
+    num_cores: usize,
+) -> Result<Enforcement, CacheError> {
+    let clusters = cluster_alloc.len();
+    if num_cores == clusters {
+        return build_enforcement(cfg, cluster_alloc, assoc);
+    }
+    match cfg.enforcement {
+        EnforcementStyle::OwnerCounters => Err(CacheError::BadPartition {
+            reason: format!(
+                "owner-counter enforcement needs one quota way per core: \
+                 {num_cores} cores exceed {assoc} ways (use an M-* scheme)"
+            ),
+        }),
+        EnforcementStyle::Masks => {
+            if cfg.policy == PolicyKind::Bt && cfg.bt_strict_vectors {
+                let sizes = round_to_subtree_sizes(cluster_alloc, assoc);
+                let cluster_masks = subtree_masks(&sizes, assoc);
+                let per_core: Vec<WayMask> = (0..num_cores)
+                    .map(|c| cluster_masks[c % clusters])
+                    .collect();
+                Enforcement::bt_vectors(per_core, assoc)
+            } else {
+                let cluster_masks = contiguous_masks(cluster_alloc, assoc).ok_or_else(|| {
+                    CacheError::BadPartition {
+                        reason: format!("allocation {cluster_alloc:?} infeasible for {assoc} ways"),
+                    }
+                })?;
+                let per_core: Vec<WayMask> = (0..num_cores)
+                    .map(|c| cluster_masks[c % clusters])
+                    .collect();
+                Ok(Enforcement::masks(per_core))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +251,53 @@ mod tests {
         assert!(!cfg.bt_strict_vectors, "generalized walk is the default");
         let e = build_enforcement(&cfg, &[10, 6], 16).unwrap();
         assert!(matches!(e, Enforcement::Masks(_)));
+    }
+
+    #[test]
+    fn clustered_masks_are_shared_round_robin() {
+        let cfg = CpaConfig::m_l();
+        // 4 clusters of 4 ways each, 10 cores.
+        let e = build_clustered_enforcement(&cfg, &[4, 4, 4, 4], 16, 10).unwrap();
+        match e {
+            Enforcement::Masks(masks) => {
+                assert_eq!(masks.len(), 10);
+                assert_eq!(masks[0], masks[4], "cores 0 and 4 share cluster 0");
+                assert_eq!(masks[1], masks[5]);
+                assert_eq!(masks[0].count(), 4);
+            }
+            other => panic!("expected masks, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clustered_owner_counters_rejected_with_one_line_error() {
+        let cfg = CpaConfig::c_l();
+        let err = build_clustered_enforcement(&cfg, &[8, 8], 16, 64).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("M-*"), "unexpected error: {msg}");
+        assert!(!msg.contains('\n'), "error must be one line");
+    }
+
+    #[test]
+    fn clustered_reduces_to_plain_when_counts_match() {
+        let cfg = CpaConfig::m_l();
+        let a = build_clustered_enforcement(&cfg, &[10, 6], 16, 2).unwrap();
+        let b = build_enforcement(&cfg, &[10, 6], 16).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clustered_bt_strict_shares_subtrees() {
+        let mut cfg = CpaConfig::m_bt();
+        cfg.bt_strict_vectors = true;
+        let e = build_clustered_enforcement(&cfg, &[8, 8], 16, 6).unwrap();
+        match e {
+            Enforcement::BtVectors { masks, .. } => {
+                assert_eq!(masks.len(), 6);
+                assert_eq!(masks[0], masks[2]);
+            }
+            other => panic!("expected BT vectors, got {other:?}"),
+        }
     }
 
     #[test]

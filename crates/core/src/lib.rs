@@ -47,6 +47,7 @@ pub mod minmisses;
 pub mod profiler;
 pub mod scheme;
 pub mod sdh;
+pub mod sketch;
 
 pub use config::{CpaConfig, EnforcementStyle, NruUpdateMode, Objective, Selector};
 pub use controller::CpaController;
@@ -54,3 +55,4 @@ pub use minmisses::{fairness_minimax, min_misses_dp, min_misses_greedy};
 pub use profiler::{BtProfiler, LruProfiler, NruProfiler, Profiler, ProfilerState};
 pub use scheme::{PolicyEntry, Scheme, SchemeError};
 pub use sdh::Sdh;
+pub use sketch::{CuckooFilter, ProfilerFidelity, SketchAtd, TagStore, TagStoreState};

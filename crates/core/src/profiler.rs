@@ -1,17 +1,19 @@
 //! The three profiling logics: exact SDH under LRU, and the paper's two
 //! estimated-SDH (eSDH) proposals for NRU and BT.
 //!
-//! Every profiler owns a sampled [`AtdTags`] plus the replacement metadata
+//! Every profiler owns a sampled tag store ([`TagStoreState`]: exact
+//! [`crate::atd::AtdTags`] or the cuckoo-filter [`crate::sketch::SketchAtd`],
+//! per the scheme's [`ProfilerFidelity`]) plus the replacement metadata
 //! of its policy, and feeds one [`Sdh`]. The ATD always runs the *same*
 //! replacement policy as the L2 (the paper applies NRU/BT "to both the L2
 //! cache and ATDs") and is never partitioned — it models the thread running
 //! alone with the whole cache.
 
-use crate::atd::AtdTags;
 use crate::config::NruUpdateMode;
 use crate::sdh::Sdh;
+use crate::sketch::{ProfilerFidelity, TagStore, TagStoreState};
 use cachesim::policy::{Bt, Lru, Nru};
-use cachesim::{Addr, CacheGeometry, PolicyKind, WayMask};
+use cachesim::{Addr, CacheError, CacheGeometry, PolicyKind, WayMask};
 
 /// Common interface of the three profiling logics.
 pub trait Profiler {
@@ -39,7 +41,7 @@ pub trait Profiler {
 /// Exact SDH profiler for true LRU (Section II-A).
 #[derive(Debug, Clone)]
 pub struct LruProfiler {
-    tags: AtdTags,
+    tags: TagStoreState,
     lru: Lru,
     sdh: Sdh,
     observed: u64,
@@ -47,16 +49,33 @@ pub struct LruProfiler {
 }
 
 impl LruProfiler {
-    /// Build for an L2 of shape `geom`, sampling 1 in `sample_ratio` sets.
+    /// Build for an L2 of shape `geom`, sampling 1 in `sample_ratio` sets,
+    /// with the exact tag store. Panics on an invalid shape; the validated
+    /// path is [`Self::try_new`].
     pub fn new(geom: CacheGeometry, sample_ratio: usize) -> Self {
-        let tags = AtdTags::new(geom, sample_ratio);
-        LruProfiler {
+        Self::try_new(geom, sample_ratio, ProfilerFidelity::Exact).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build with an explicit tag-store fidelity, surfacing shape errors
+    /// as one-line values.
+    pub fn try_new(
+        geom: CacheGeometry,
+        sample_ratio: usize,
+        fidelity: ProfilerFidelity,
+    ) -> Result<Self, CacheError> {
+        let tags = TagStoreState::try_new(geom, sample_ratio, fidelity)?;
+        Ok(LruProfiler {
             lru: Lru::new(tags.sampled_sets(), geom.assoc()),
             sdh: Sdh::new(geom.assoc()),
             observed: 0,
             full: WayMask::full(geom.assoc()),
             tags,
-        }
+        })
+    }
+
+    /// The tag store backing this profiler's ATD.
+    pub fn tags(&self) -> &TagStoreState {
+        &self.tags
     }
 }
 
@@ -119,7 +138,7 @@ impl Profiler for LruProfiler {
 /// the miss curve"). ATD misses increment `r_{A+1}` as usual.
 #[derive(Debug, Clone)]
 pub struct NruProfiler {
-    tags: AtdTags,
+    tags: TagStoreState,
     nru: Nru,
     sdh: Sdh,
     scale: f64,
@@ -130,11 +149,25 @@ pub struct NruProfiler {
 
 impl NruProfiler {
     /// Build with eSDH scaling factor `scale` (the paper evaluates 1.0,
-    /// 0.75, 0.5) and the given hit-update mode.
+    /// 0.75, 0.5) and the given hit-update mode, on the exact tag store.
+    /// Panics on an invalid shape; the validated path is [`Self::try_new`].
     pub fn new(geom: CacheGeometry, sample_ratio: usize, scale: f64, mode: NruUpdateMode) -> Self {
+        Self::try_new(geom, sample_ratio, scale, mode, ProfilerFidelity::Exact)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build with an explicit tag-store fidelity, surfacing shape errors
+    /// as one-line values.
+    pub fn try_new(
+        geom: CacheGeometry,
+        sample_ratio: usize,
+        scale: f64,
+        mode: NruUpdateMode,
+        fidelity: ProfilerFidelity,
+    ) -> Result<Self, CacheError> {
         assert!(scale > 0.0 && scale <= 1.0);
-        let tags = AtdTags::new(geom, sample_ratio);
-        NruProfiler {
+        let tags = TagStoreState::try_new(geom, sample_ratio, fidelity)?;
+        Ok(NruProfiler {
             nru: Nru::new(tags.sampled_sets(), geom.assoc()),
             sdh: Sdh::new(geom.assoc()),
             scale,
@@ -142,7 +175,12 @@ impl NruProfiler {
             observed: 0,
             full: WayMask::full(geom.assoc()),
             tags,
-        }
+        })
+    }
+
+    /// The tag store backing this profiler's ATD.
+    pub fn tags(&self) -> &TagStoreState {
+        &self.tags
     }
 
     /// The estimated distance for a used-bit hit given `U` set bits:
@@ -234,22 +272,39 @@ impl Profiler for NruProfiler {
 /// accessed, `A` when it is the current victim.
 #[derive(Debug, Clone)]
 pub struct BtProfiler {
-    tags: AtdTags,
+    tags: TagStoreState,
     bt: Bt,
     sdh: Sdh,
     observed: u64,
 }
 
 impl BtProfiler {
-    /// Build for an L2 of shape `geom` (power-of-two associativity).
+    /// Build for an L2 of shape `geom` (power-of-two associativity) on
+    /// the exact tag store. Panics on an invalid shape; the validated
+    /// path is [`Self::try_new`].
     pub fn new(geom: CacheGeometry, sample_ratio: usize) -> Self {
-        let tags = AtdTags::new(geom, sample_ratio);
-        BtProfiler {
+        Self::try_new(geom, sample_ratio, ProfilerFidelity::Exact).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build with an explicit tag-store fidelity, surfacing shape errors
+    /// as one-line values.
+    pub fn try_new(
+        geom: CacheGeometry,
+        sample_ratio: usize,
+        fidelity: ProfilerFidelity,
+    ) -> Result<Self, CacheError> {
+        let tags = TagStoreState::try_new(geom, sample_ratio, fidelity)?;
+        Ok(BtProfiler {
             bt: Bt::new(tags.sampled_sets(), geom.assoc()),
             sdh: Sdh::new(geom.assoc()),
             observed: 0,
             tags,
-        }
+        })
+    }
+
+    /// The tag store backing this profiler's ATD.
+    pub fn tags(&self) -> &TagStoreState {
+        &self.tags
     }
 
     /// The estimated stack position of way `way` in ATD set `aset`.
@@ -338,8 +393,10 @@ impl ProfilerState {
         }
     }
 
-    /// Build the profiler matching an L2 replacement policy. Panics for
-    /// `Random` (the paper defines no profiling logic for it).
+    /// Build the profiler matching an L2 replacement policy on the exact
+    /// tag store. Panics for `Random`/`FIFO` (the paper defines no
+    /// profiling logic for them); the validated path is
+    /// [`Self::try_new`].
     pub fn new(
         kind: PolicyKind,
         geom: CacheGeometry,
@@ -347,18 +404,63 @@ impl ProfilerState {
         nru_scale: f64,
         nru_mode: NruUpdateMode,
     ) -> Self {
+        Self::try_new(
+            kind,
+            geom,
+            sample_ratio,
+            nru_scale,
+            nru_mode,
+            ProfilerFidelity::Exact,
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Build the profiler matching an L2 replacement policy at a given
+    /// tag-store fidelity, surfacing invalid combinations as one-line
+    /// errors.
+    pub fn try_new(
+        kind: PolicyKind,
+        geom: CacheGeometry,
+        sample_ratio: usize,
+        nru_scale: f64,
+        nru_mode: NruUpdateMode,
+        fidelity: ProfilerFidelity,
+    ) -> Result<Self, CacheError> {
         match kind {
-            PolicyKind::Lru => ProfilerState::Lru(LruProfiler::new(geom, sample_ratio)),
-            PolicyKind::Nru => {
-                ProfilerState::Nru(NruProfiler::new(geom, sample_ratio, nru_scale, nru_mode))
-            }
-            PolicyKind::Bt => ProfilerState::Bt(BtProfiler::new(geom, sample_ratio)),
-            PolicyKind::Random | PolicyKind::Fifo => panic!(
-                "no profiling logic exists for {} replacement \
-                 (the scheme registry rejects partitioned {} at parse time)",
-                kind.acronym(),
-                kind.acronym()
-            ),
+            PolicyKind::Lru => Ok(ProfilerState::Lru(LruProfiler::try_new(
+                geom,
+                sample_ratio,
+                fidelity,
+            )?)),
+            PolicyKind::Nru => Ok(ProfilerState::Nru(NruProfiler::try_new(
+                geom,
+                sample_ratio,
+                nru_scale,
+                nru_mode,
+                fidelity,
+            )?)),
+            PolicyKind::Bt => Ok(ProfilerState::Bt(BtProfiler::try_new(
+                geom,
+                sample_ratio,
+                fidelity,
+            )?)),
+            PolicyKind::Random | PolicyKind::Fifo => Err(CacheError::BadPartition {
+                reason: format!(
+                    "no profiling logic exists for {} replacement \
+                     (the scheme registry rejects partitioned {} at parse time)",
+                    kind.acronym(),
+                    kind.acronym()
+                ),
+            }),
+        }
+    }
+
+    /// The tag-store fidelity this profiler runs at.
+    pub fn fidelity(&self) -> ProfilerFidelity {
+        match self {
+            ProfilerState::Lru(p) => p.tags.fidelity(),
+            ProfilerState::Nru(p) => p.tags.fidelity(),
+            ProfilerState::Bt(p) => p.tags.fidelity(),
         }
     }
 }
@@ -611,14 +713,61 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn dispatch_rejects_random() {
-        let _ = ProfilerState::new(
+    fn dispatch_rejects_random_with_one_line_error() {
+        let err = ProfilerState::try_new(
             PolicyKind::Random,
             tiny_geom(),
             1,
             0.75,
             NruUpdateMode::Scaled,
+            ProfilerFidelity::Exact,
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("no profiling logic"),
+            "unexpected error: {msg}"
         );
+        assert!(!msg.contains('\n'), "error must be one line");
+    }
+
+    #[test]
+    fn dispatch_constructs_sketch_fidelity() {
+        let geom = tiny_geom();
+        for kind in [PolicyKind::Lru, PolicyKind::Nru, PolicyKind::Bt] {
+            let mut p = ProfilerState::try_new(
+                kind,
+                geom,
+                1,
+                0.75,
+                NruUpdateMode::Scaled,
+                ProfilerFidelity::Sketch { fp_bits: 16 },
+            )
+            .unwrap();
+            assert_eq!(p.fidelity(), ProfilerFidelity::Sketch { fp_bits: 16 });
+            p.observe(addr_in_set(0, 0));
+            assert_eq!(p.sdh().total(), 1);
+            p.reset();
+            assert_eq!(p.sdh().total(), 0);
+        }
+    }
+
+    #[test]
+    fn sketch_lru_profiler_matches_exact_on_small_traces() {
+        // With 16-bit fingerprints and a tiny working set, collisions are
+        // (deterministically) absent, so the sketch profiler's SDH must be
+        // bit-identical to the exact one.
+        let geom = tiny_geom();
+        let mut exact = LruProfiler::new(geom, 1);
+        let mut sketch =
+            LruProfiler::try_new(geom, 1, ProfilerFidelity::Sketch { fp_bits: 16 }).unwrap();
+        for i in 0..4000u64 {
+            let a = addr_in_set((i % 4) as usize, (i * 7 + i * i / 5) % 12);
+            exact.observe(a);
+            sketch.observe(a);
+        }
+        for d in 1..=5 {
+            assert_eq!(exact.sdh().register(d), sketch.sdh().register(d), "reg {d}");
+        }
     }
 }

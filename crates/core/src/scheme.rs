@@ -58,6 +58,7 @@
 //! ```
 
 use crate::config::{CpaConfig, EnforcementStyle};
+use crate::sketch::ProfilerFidelity;
 use cachesim::PolicyKind;
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use std::fmt;
@@ -265,6 +266,16 @@ impl Scheme {
     pub fn with_interval_cycles(mut self, interval_cycles: Option<u64>) -> Self {
         if let (Some(cpa), Some(iv)) = (self.cpa.as_mut(), interval_cycles) {
             cpa.interval_cycles = iv;
+        }
+        self
+    }
+
+    /// Fold a profiler tag-store fidelity into a CPA scheme (no-op for
+    /// bare policies, which run no profilers) — how the engine builder
+    /// and the scenario `profilers` axis apply sketch fidelities.
+    pub fn with_fidelity(mut self, fidelity: Option<ProfilerFidelity>) -> Self {
+        if let (Some(cpa), Some(f)) = (self.cpa.as_mut(), fidelity) {
+            cpa.fidelity = Some(f);
         }
         self
     }

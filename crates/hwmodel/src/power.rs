@@ -134,6 +134,16 @@ impl PowerModel {
         let cpi = run.cycles as f64 / run.insts as f64;
         cpi * self.power(run).total()
     }
+
+    /// Dynamic energy of one sketch-fidelity ATD probe relative to the
+    /// exact-ATD constant: a probe reads `fp_bits + 1`-bit slots instead
+    /// of `tag_bits + 1`-bit rows, so per-access energy scales with the
+    /// bit-width ratio (the switched capacitance of the compared bits
+    /// dominates; the two extra bucket reads are inside the same noise
+    /// the exact constant already absorbs).
+    pub fn sketch_probe_energy(&self, tag_bits: u32, fp_bits: u32) -> f64 {
+        self.cfg.atd_dynamic_per_access * f64::from(fp_bits + 1) / f64::from(tag_bits + 1)
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +199,19 @@ mod tests {
             "profiling fraction {}",
             p.profiling_fraction()
         );
+    }
+
+    #[test]
+    fn sketch_probe_energy_scales_with_fingerprint_width() {
+        let m = PowerModel::default();
+        // 47-bit tags: a 9-bit sketch8 probe switches 9/48 of the bits.
+        let e8 = m.sketch_probe_energy(47, 8);
+        assert!((e8 - 0.25 * 9.0 / 48.0).abs() < 1e-12);
+        // Monotone in width, always below the exact-probe constant.
+        let e12 = m.sketch_probe_energy(47, 12);
+        let e16 = m.sketch_probe_energy(47, 16);
+        assert!(e8 < e12 && e12 < e16);
+        assert!(e16 < 0.25);
     }
 
     #[test]

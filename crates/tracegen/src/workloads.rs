@@ -168,9 +168,34 @@ pub fn all_workloads() -> Vec<Workload> {
     ]
 }
 
-/// Look up a workload by Table II name.
+/// Look up a workload by Table II name, or a many-core recycling of one:
+/// `"<table_ii_name>x<threads>"` (e.g. `"8T_03x64"`) repeats the base
+/// workload's benchmark mix round-robin until it spans `threads` cores.
+/// Table II stops at 8 threads; the recycled mixes are how the 64-256
+/// tenant sweeps populate every core with paper benchmarks (each core
+/// still gets its own decorrelated trace seed, so repeated instances of
+/// one benchmark diverge).
 pub fn workload(name: &str) -> Option<Workload> {
-    all_workloads().into_iter().find(|w| w.name == name)
+    if let Some(wl) = all_workloads().into_iter().find(|w| w.name == name) {
+        return Some(wl);
+    }
+    let (base, threads) = name.rsplit_once('x')?;
+    let threads: usize = threads.parse().ok()?;
+    let base_wl = all_workloads().into_iter().find(|w| w.name == base)?;
+    if threads < base_wl.threads() {
+        return None;
+    }
+    let benchmarks = base_wl
+        .benchmarks
+        .iter()
+        .cycle()
+        .take(threads)
+        .cloned()
+        .collect();
+    Some(Workload {
+        name: name.to_string(),
+        benchmarks,
+    })
 }
 
 /// All workloads with a given thread count (2, 4 or 8).
@@ -193,6 +218,25 @@ mod tests {
         assert_eq!(workloads_with_threads(4).len(), 14);
         assert_eq!(workloads_with_threads(8).len(), 11);
         assert_eq!(all_workloads().len(), 49);
+    }
+
+    #[test]
+    fn many_core_names_recycle_the_base_mix() {
+        let wl = workload("8T_03x64").expect("recycled many-core workload");
+        assert_eq!(wl.threads(), 64);
+        assert_eq!(wl.name, "8T_03x64");
+        let base = workload("8T_03").unwrap();
+        for (i, b) in wl.benchmarks.iter().enumerate() {
+            assert_eq!(b, &base.benchmarks[i % 8], "round-robin recycling");
+        }
+        // 256-tenant stress shape.
+        assert_eq!(workload("2T_01x256").unwrap().threads(), 256);
+        // Shrinking a mix, unknown bases and garbage suffixes are not
+        // workloads.
+        assert!(workload("8T_03x4").is_none());
+        assert!(workload("9T_99x64").is_none());
+        assert!(workload("8T_03x").is_none());
+        assert!(workload("nonesuch").is_none());
     }
 
     #[test]

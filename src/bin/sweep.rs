@@ -123,6 +123,13 @@ fn list_schemes() {
     let all = Scheme::all_baseline();
     let acronyms: Vec<String> = all.iter().map(ToString::to_string).collect();
     println!("  {}", acronyms.join(", "));
+    println!();
+    println!(
+        "profiler fidelities (spec axis `\"profilers\"`; CPA schemes only):\n\
+         \u{20} exact, sketch8, sketch12, sketch16 \u{2014} the paper's full-tag \
+         ATD or the\n\u{20} cuckoo-filter sketch at that fingerprint width \
+         (docs/SAMPLED_ATD.md)"
+    );
 }
 
 fn parse_args() -> Args {

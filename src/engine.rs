@@ -51,7 +51,7 @@
 
 use cachesim::PolicyKind;
 use cmpsim::{MachineConfig, SimResult, System, WorkloadMetrics};
-use plru_core::{CpaConfig, Scheme};
+use plru_core::{CpaConfig, ProfilerFidelity, Scheme};
 use std::fs::File;
 use std::io::BufWriter;
 use std::path::Path;
@@ -69,6 +69,7 @@ pub use cmpsim::runner::{parallel_map, IsolationCache};
 pub struct SimEngineBuilder {
     cfg: MachineConfig,
     scheme: Option<Scheme>,
+    fidelity: Option<ProfilerFidelity>,
     seed_salt: u64,
     isolation: Option<Arc<IsolationCache>>,
     decode_workers: usize,
@@ -79,6 +80,7 @@ impl Default for SimEngineBuilder {
         SimEngineBuilder {
             cfg: MachineConfig::paper_baseline(2),
             scheme: None,
+            fidelity: None,
             seed_salt: 0,
             isolation: None,
             decode_workers: 0,
@@ -136,6 +138,16 @@ impl SimEngineBuilder {
         self
     }
 
+    /// Set the profiling ATDs' tag-store fidelity
+    /// ([`ProfilerFidelity::Exact`] full tag rows — the default — or
+    /// `Sketch { fp_bits }` cuckoo-filter membership). Applied to the
+    /// scheme's CPA configuration at [`SimEngineBuilder::build`]; a
+    /// no-op for unpartitioned schemes.
+    pub fn fidelity(mut self, fidelity: ProfilerFidelity) -> Self {
+        self.fidelity = Some(fidelity);
+        self
+    }
+
     /// Perturb the per-core trace seeds (repeat runs of one benchmark
     /// diverge with different salts).
     pub fn seed_salt(mut self, salt: u64) -> Self {
@@ -164,7 +176,10 @@ impl SimEngineBuilder {
     pub fn build(self) -> SimEngine {
         SimEngine {
             cfg: self.cfg,
-            scheme: self.scheme.unwrap_or(Scheme::bare(PolicyKind::Lru)),
+            scheme: self
+                .scheme
+                .unwrap_or(Scheme::bare(PolicyKind::Lru))
+                .with_fidelity(self.fidelity),
             seed_salt: self.seed_salt,
             isolation: self.isolation.unwrap_or_default(),
             decode_workers: self.decode_workers,
@@ -446,6 +461,24 @@ mod tests {
             .build();
         assert_eq!(e.policy(), PolicyKind::Bt);
         assert!(e.cpa().is_none());
+    }
+
+    #[test]
+    fn fidelity_lands_on_the_scheme_cpa() {
+        let e = quick()
+            .scheme("M-0.75N".parse().unwrap())
+            .fidelity(ProfilerFidelity::Sketch { fp_bits: 8 })
+            .build();
+        assert_eq!(
+            e.cpa().unwrap().fidelity(),
+            ProfilerFidelity::Sketch { fp_bits: 8 }
+        );
+        // The acronym is fidelity-agnostic; bare schemes ignore it.
+        assert_eq!(e.scheme().to_string(), "M-0.75N");
+        let bare = quick()
+            .fidelity(ProfilerFidelity::Sketch { fp_bits: 8 })
+            .build();
+        assert!(bare.cpa().is_none());
     }
 
     #[test]

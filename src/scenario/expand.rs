@@ -1,12 +1,12 @@
 //! Deterministic expansion of a [`ScenarioSpec`] into concrete cases.
 //!
 //! Expansion is pure and fully ordered: `workloads` (outermost) ×
-//! `schemes` × `l2_sizes` × `l2_assocs` × `seed_salts` (innermost), with
-//! each axis deduplicated first (first occurrence wins; schemes dedupe by
-//! their canonical acronym). The case count is therefore exactly the
-//! product of the deduplicated axis lengths, and `ScenarioCase::index` is
-//! the position in that order — the contract the golden-snapshot and
-//! property tests pin.
+//! `schemes` × `l2_sizes` × `l2_assocs` × `seed_salts` × `profilers`
+//! (innermost), with each axis deduplicated first (first occurrence
+//! wins; schemes dedupe by their canonical acronym). The case count is
+//! therefore exactly the product of the deduplicated axis lengths, and
+//! `ScenarioCase::index` is the position in that order — the contract
+//! the golden-snapshot and property tests pin.
 //!
 //! The scheme axis holds [`plru_core::Scheme`]s: entries are parsed by
 //! the registry's single grammar (there is no scenario-local scheme
@@ -18,7 +18,7 @@ use crate::engine::{IsolationCache, SimEngine};
 use crate::scenario::spec::{ScenarioSpec, WorkloadSel};
 use cachesim::CacheGeometry;
 use cmpsim::MachineConfig;
-use plru_core::Scheme;
+use plru_core::{EnforcementStyle, ProfilerFidelity, Scheme};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -63,6 +63,9 @@ pub struct ScenarioCase {
     pub l2_assoc: usize,
     /// Per-core trace seed salt.
     pub seed_salt: u64,
+    /// Profiler tag-store fidelity (`"exact"`, `"sketch8"`, ...);
+    /// `None` (old serialized cases) means exact.
+    pub profiler: Option<String>,
     /// Committed-instruction target per thread.
     pub insts: u64,
     /// Base RNG seed.
@@ -99,6 +102,15 @@ impl ScenarioCase {
         cfg
     }
 
+    /// The case's profiler fidelity (expansion already validated the
+    /// string; `None` means exact).
+    pub fn fidelity(&self) -> ProfilerFidelity {
+        self.profiler
+            .as_deref()
+            .map(|p| p.parse().expect("fidelity validated at expansion"))
+            .unwrap_or(ProfilerFidelity::Exact)
+    }
+
     /// Build the case's engine on a shared isolation memo.
     pub fn engine(&self, isolation: Arc<IsolationCache>) -> SimEngine {
         SimEngine::builder()
@@ -106,6 +118,7 @@ impl ScenarioCase {
             .seed_salt(self.seed_salt)
             .isolation(isolation)
             .scheme(self.scheme.clone())
+            .fidelity(self.fidelity())
             .build()
     }
 }
@@ -216,6 +229,13 @@ impl ScenarioSpec {
             }
         }
 
+        // Profiler-fidelity axis: validate every entry up front.
+        let profilers = dedupe(self.profilers.as_deref().unwrap_or(&["exact".to_string()]));
+        non_empty(&profilers, "profilers")?;
+        for p in &profilers {
+            p.parse::<ProfilerFidelity>().map_err(ScenarioError::new)?;
+        }
+
         let l2_sizes = dedupe(
             self.l2_sizes
                 .as_deref()
@@ -234,6 +254,7 @@ impl ScenarioSpec {
                 CacheGeometry::new(size, assoc, baseline.l2.line_bytes()).map_err(|e| {
                     ScenarioError::new(format!("invalid L2 shape {size} B x {assoc}-way: {e:?}"))
                 })?;
+                let sets = (size / (baseline.l2.line_bytes() as u64 * assoc as u64)) as usize;
                 for scheme in &schemes {
                     scheme.policy().validate_assoc(assoc).map_err(|e| {
                         ScenarioError::new(format!(
@@ -241,6 +262,31 @@ impl ScenarioSpec {
                             scheme.acronym()
                         ))
                     })?;
+                    let Some(cpa) = scheme.cpa() else { continue };
+                    if sets < cpa.sample_ratio {
+                        return Err(ScenarioError::new(format!(
+                            "scheme {}: ATD sample ratio {} leaves no sampled set \
+                             ({sets} sets at {size} B x {assoc}-way)",
+                            scheme.acronym(),
+                            cpa.sample_ratio
+                        )));
+                    }
+                    // Owner counters need one quota way per core; masks
+                    // cluster at many-core scale instead.
+                    if cpa.enforcement == EnforcementStyle::OwnerCounters {
+                        for (wl, _) in &workloads {
+                            if wl.benchmarks.len() > assoc {
+                                return Err(ScenarioError::new(format!(
+                                    "scheme {}: owner-counter enforcement needs one quota \
+                                     way per core, but workload `{}` has {} threads on \
+                                     {assoc} ways (use an M-* scheme)",
+                                    scheme.acronym(),
+                                    wl.name,
+                                    wl.benchmarks.len()
+                                )));
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -251,19 +297,26 @@ impl ScenarioSpec {
                 for &l2_bytes in &l2_sizes {
                     for &l2_assoc in &l2_assocs {
                         for &seed_salt in &seed_salts {
-                            cases.push(ScenarioCase {
-                                index: cases.len(),
-                                workload: wl.name.clone(),
-                                benchmarks: wl.benchmarks.clone(),
-                                scheme: scheme.clone(),
-                                l2_bytes,
-                                l2_assoc,
-                                seed_salt,
-                                insts,
-                                seed,
-                                capture_history,
-                                recorded: recorded.clone(),
-                            });
+                            for profiler in &profilers {
+                                cases.push(ScenarioCase {
+                                    index: cases.len(),
+                                    workload: wl.name.clone(),
+                                    benchmarks: wl.benchmarks.clone(),
+                                    scheme: scheme.clone(),
+                                    l2_bytes,
+                                    l2_assoc,
+                                    seed_salt,
+                                    profiler: if profiler == "exact" {
+                                        None
+                                    } else {
+                                        Some(profiler.clone())
+                                    },
+                                    insts,
+                                    seed,
+                                    capture_history,
+                                    recorded: recorded.clone(),
+                                });
+                            }
                         }
                     }
                 }
@@ -418,6 +471,53 @@ mod tests {
                 assert_eq!(cpa.interval_cycles, 123_456, "{}", case.scheme);
             }
         }
+    }
+
+    #[test]
+    fn profiler_axis_is_innermost_and_validated() {
+        let mut spec = base_spec();
+        spec.schemes = vec!["M-L".into()].into();
+        spec.seed_salts = Some(vec![0, 1]);
+        spec.profilers = Some(vec!["exact".into(), "sketch8".into()]);
+        let cases = spec.expand().unwrap();
+        assert_eq!(cases.len(), 4);
+        assert_eq!(cases[0].profiler, None, "exact is stored as None");
+        assert_eq!(cases[1].profiler.as_deref(), Some("sketch8"));
+        assert_eq!(cases[1].seed_salt, 0, "profilers move faster than salts");
+        assert_eq!(cases[2].seed_salt, 1);
+        assert_eq!(cases[1].fidelity(), ProfilerFidelity::Sketch { fp_bits: 8 });
+        let engine = cases[1].engine(Arc::new(IsolationCache::new()));
+        assert_eq!(
+            engine.cpa().unwrap().fidelity(),
+            ProfilerFidelity::Sketch { fp_bits: 8 }
+        );
+
+        spec.profilers = Some(vec!["sketch9".into()]);
+        let err = spec.expand().unwrap_err().to_string();
+        assert!(err.contains("8, 12 or 16"), "{err}");
+    }
+
+    #[test]
+    fn owner_counters_reject_many_core_workloads_at_expansion() {
+        let mut spec = base_spec();
+        spec.workloads = vec![WorkloadSel::Profiles(vec!["gzip".into(); 24])];
+        spec.schemes = vec!["C-L".into(), "M-L".into()].into();
+        let err = spec.expand().unwrap_err().to_string();
+        assert!(err.contains("use an M-* scheme"), "{err}");
+        // Masks alone cluster instead of erroring.
+        spec.schemes = vec!["M-L".into()].into();
+        assert_eq!(spec.expand().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sample_ratio_without_sampled_sets_is_rejected() {
+        let mut spec = base_spec();
+        spec.schemes = vec!["M-L".into()].into();
+        // 64 KB / 16-way / 128 B = 32 sets: exactly one sampled set at
+        // the default ratio 32 — fine. 32 KB leaves none.
+        spec.l2_sizes = Some(vec![32 * 1024]);
+        let err = spec.expand().unwrap_err().to_string();
+        assert!(err.contains("leaves no sampled set"), "{err}");
     }
 
     #[test]

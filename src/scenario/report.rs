@@ -76,6 +76,7 @@ impl SweepReport {
             "l2",
             "ways",
             "salt",
+            "prof",
             "thr",
             "w.speedup",
             "h.mean",
@@ -93,6 +94,7 @@ impl SweepReport {
                     format_size(c.case.l2_bytes),
                     c.case.l2_assoc.to_string(),
                     c.case.seed_salt.to_string(),
+                    c.case.profiler.clone().unwrap_or_else(|| "exact".into()),
                     format!("{:.4}", c.metrics.throughput),
                     format!("{:.4}", c.metrics.weighted_speedup),
                     format!("{:.4}", c.metrics.harmonic_mean),

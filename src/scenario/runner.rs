@@ -117,7 +117,7 @@ impl SweepRunner {
 pub fn run_miss_curves(spec: &MissCurveSpec) -> Result<MissCurveReport, ScenarioError> {
     use cachesim::{Cache, CacheConfig, PolicyKind};
     use plru_core::profiler::{BtProfiler, LruProfiler, NruProfiler};
-    use plru_core::{NruUpdateMode, Profiler};
+    use plru_core::{NruUpdateMode, Profiler, ProfilerFidelity};
     use tracegen::TraceGenerator;
 
     let profile = tracegen::benchmark(&spec.benchmark)
@@ -127,6 +127,13 @@ pub fn run_miss_curves(spec: &MissCurveSpec) -> Result<MissCurveReport, Scenario
             "axis `profilers` must list at least one value",
         ));
     }
+    let ratio = spec.sample_ratio.unwrap_or(1);
+    let fidelity: ProfilerFidelity = spec
+        .fidelity
+        .as_deref()
+        .unwrap_or("exact")
+        .parse()
+        .map_err(ScenarioError::new)?;
 
     enum Prof {
         Lru(LruProfiler),
@@ -135,7 +142,10 @@ pub fn run_miss_curves(spec: &MissCurveSpec) -> Result<MissCurveReport, Scenario
     }
     let baseline = cmpsim::MachineConfig::paper_baseline(1);
     let geom = baseline.l2;
-    // Full (unsampled) ATDs so the curves are smooth in a short run.
+    // Full (unsampled) exact ATDs by default, so the curves are smooth in
+    // a short run; `sample_ratio` / `fidelity` switch every profiler of
+    // the comparison at once (the differential fidelity suite sweeps
+    // them).
     //
     // Note: the `profilers` axis names *profiling logics* ("L", "0.75N",
     // "BT"), not schemes — there is no enforcement part and bare scale
@@ -146,9 +156,18 @@ pub fn run_miss_curves(spec: &MissCurveSpec) -> Result<MissCurveReport, Scenario
         let (label, prof) = match p.as_str() {
             "L" => (
                 "SDH (LRU)".to_string(),
-                Prof::Lru(LruProfiler::new(geom, 1)),
+                Prof::Lru(
+                    LruProfiler::try_new(geom, ratio, fidelity)
+                        .map_err(|e| ScenarioError::new(e.to_string()))?,
+                ),
             ),
-            "BT" => ("eSDH BT".to_string(), Prof::Bt(BtProfiler::new(geom, 1))),
+            "BT" => (
+                "eSDH BT".to_string(),
+                Prof::Bt(
+                    BtProfiler::try_new(geom, ratio, fidelity)
+                        .map_err(|e| ScenarioError::new(e.to_string()))?,
+                ),
+            ),
             nru if nru.ends_with('N') => {
                 let scale: f64 = nru[..nru.len() - 1].parse().map_err(|_| {
                     ScenarioError::new(format!("bad NRU profiler scale in `{nru}`"))
@@ -160,7 +179,10 @@ pub fn run_miss_curves(spec: &MissCurveSpec) -> Result<MissCurveReport, Scenario
                 }
                 (
                     format!("eSDH {nru}"),
-                    Prof::Nru(NruProfiler::new(geom, 1, scale, NruUpdateMode::Scaled)),
+                    Prof::Nru(
+                        NruProfiler::try_new(geom, ratio, scale, NruUpdateMode::Scaled, fidelity)
+                            .map_err(|e| ScenarioError::new(e.to_string()))?,
+                    ),
                 )
             }
             other => {
@@ -276,6 +298,8 @@ mod tests {
             records: Some(30_000),
             trace_seed: None,
             profilers: vec!["L".into(), "0.75N".into(), "BT".into()],
+            sample_ratio: None,
+            fidelity: None,
         };
         let report = run_miss_curves(&spec).unwrap();
         assert_eq!(report.curves.len(), 3);
@@ -290,8 +314,34 @@ mod tests {
         assert!(run_miss_curves(&MissCurveSpec {
             benchmark: "nonesuch".into(),
             profilers: vec!["L".into()],
-            ..spec
+            ..spec.clone()
         })
         .is_err());
+        assert!(run_miss_curves(&MissCurveSpec {
+            fidelity: Some("sketch9".into()),
+            ..spec.clone()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn miss_curves_accept_sampled_sketch_profilers() {
+        let spec = MissCurveSpec {
+            name: "mc-sk".into(),
+            benchmark: "twolf".into(),
+            records: Some(30_000),
+            trace_seed: None,
+            profilers: vec!["L".into(), "BT".into()],
+            sample_ratio: Some(32),
+            fidelity: Some("sketch16".into()),
+        };
+        let report = run_miss_curves(&spec).unwrap();
+        assert_eq!(report.curves.len(), 2);
+        for curve in &report.curves {
+            // Sampled ATDs only record 1-in-32 sets, so the zero-way
+            // point counts sampled observations, not all L2 accesses.
+            assert!(curve.misses[0] > 0);
+            assert!(curve.misses[0] <= report.l2_accesses);
+        }
     }
 }

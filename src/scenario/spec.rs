@@ -182,7 +182,8 @@ impl Deserialize for WorkloadSel {
 /// A declarative cartesian sweep over simulation cases.
 ///
 /// Expansion order is fixed and documented: `workloads` (outermost) ×
-/// `schemes` × `l2_sizes` × `l2_assocs` × `seed_salts` (innermost), with
+/// `schemes` × `l2_sizes` × `l2_assocs` × `seed_salts` × `profilers`
+/// (innermost), with
 /// duplicate axis entries removed (first occurrence wins). See
 /// [`ScenarioSpec::expand`](crate::scenario::expand) for the rules.
 ///
@@ -237,6 +238,12 @@ pub struct ScenarioSpec {
     pub l2_assocs: Option<Vec<usize>>,
     /// Seed-salt axis perturbing per-core trace seeds (default: `[0]`).
     pub seed_salts: Option<Vec<u64>>,
+    /// Profiler tag-store fidelity axis: `"exact"` (full ATD tag rows,
+    /// the default) and/or `"sketch8"` / `"sketch12"` / `"sketch16"`
+    /// (cuckoo-filter membership at that fingerprint width). Applied to
+    /// every CPA scheme of the sweep; bare schemes ignore it (default:
+    /// `["exact"]`).
+    pub profilers: Option<Vec<String>>,
 }
 
 impl ScenarioSpec {
@@ -268,6 +275,11 @@ pub struct MissCurveSpec {
     /// Profilers to compare: `"L"` (exact SDH), `"<scale>N"` (NRU eSDH at
     /// a scaling factor, e.g. `"0.75N"`), `"BT"` (binary-tree eSDH).
     pub profilers: Vec<String>,
+    /// ATD set-sampling ratio for every profiler (default 1 = full ATD).
+    pub sample_ratio: Option<usize>,
+    /// Tag-store fidelity for every profiler: `"exact"` (default) or
+    /// `"sketch8"` / `"sketch12"` / `"sketch16"`.
+    pub fidelity: Option<String>,
 }
 
 impl MissCurveSpec {
@@ -332,6 +344,7 @@ mod tests {
             l2_sizes: Some(vec![512 * 1024]),
             l2_assocs: Some(vec![8, 16]),
             seed_salts: Some(vec![0, 3]),
+            profilers: Some(vec!["exact".into(), "sketch8".into()]),
         };
         let json = spec.to_json_pretty();
         assert_eq!(ScenarioSpec::from_json(&json).unwrap(), spec);
@@ -346,6 +359,7 @@ mod tests {
         assert_eq!(spec.l2_sizes, None);
         assert_eq!(spec.seed_salts, None);
         assert_eq!(spec.capture_history, None);
+        assert_eq!(spec.profilers, None);
     }
 
     #[test]
@@ -383,6 +397,8 @@ mod tests {
             records: Some(1000),
             trace_seed: None,
             profilers: vec!["L".into(), "0.75N".into(), "BT".into()],
+            sample_ratio: Some(32),
+            fidelity: Some("sketch12".into()),
         };
         let json = spec.to_json_pretty();
         assert_eq!(MissCurveSpec::from_json(&json).unwrap(), spec);
