@@ -1,0 +1,289 @@
+//! `repolint.toml` — the machine-readable statement of the repo's
+//! conventions. Parsed by a deliberately small TOML subset reader
+//! (tables, bare/hyphenated keys, string / bool / string-array values,
+//! `#` comments) so the tool stays dependency-free.
+//!
+//! The full schema is documented in `docs/LINTS.md`; a config that
+//! names a crate, file or const that no longer exists is reported as a
+//! `config` finding by the engine (drift in the config is drift too).
+
+use std::collections::BTreeMap;
+
+/// Parsed `repolint.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Crates satisfied by offline stubs under `vendor/` — usable from
+    /// every layer (`[external] crates`).
+    pub external_crates: Vec<String>,
+    /// `::`-separated path prefixes no crate may import
+    /// (`[external] forbidden`) — the stubs' internals.
+    pub forbidden_paths: Vec<String>,
+    /// `[layers]`: package name → workspace packages it may depend on.
+    pub layers: BTreeMap<String, Vec<String>>,
+    /// `[dev-layers]`: extra packages allowed as dev-dependencies only.
+    pub dev_layers: BTreeMap<String, Vec<String>>,
+    /// `[modules] order`: root-crate module layers, highest first.
+    pub module_order: Vec<String>,
+    /// `[hardened] files`: untrusted-input modules (panic-freedom +
+    /// cap-before-allocate enforced), repo-relative paths.
+    pub hardened: Vec<String>,
+    /// `[error-contract] files`: prefix globs (`dir/**`) or exact paths.
+    pub error_files: Vec<String>,
+    /// `[error-contract] extra-markers`: function names treated as error
+    /// constructors in addition to the built-in patterns.
+    pub error_markers: Vec<String>,
+    /// `[drift]` keys (see the struct).
+    pub drift: DriftConfig,
+}
+
+/// The `[drift]` table: where the cross-artifact consistency rules look.
+#[derive(Debug, Clone, Default)]
+pub struct DriftConfig {
+    /// Filename prefix of the gated bench baselines (`BENCH_`).
+    pub bench_baselines: String,
+    /// Directory holding the criterion bench sources.
+    pub bench_sources: String,
+    /// The scenario-axis documentation page.
+    pub scenarios_doc: String,
+    /// The spec source the documented axes must exist in.
+    pub spec_source: String,
+    /// `path:CONST` — the cap constant that is the source of truth.
+    pub cap_source: String,
+    /// `path:CONST` — the cap constant that must mirror it.
+    pub cap_mirror: String,
+}
+
+impl Config {
+    /// Parse the TOML-subset text. Unknown tables/keys are errors: a
+    /// misspelled section must not silently disable a rule family.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        for (table, key, value) in parse_toml_subset(text)? {
+            match (table.as_str(), key.as_str()) {
+                ("external", "crates") => cfg.external_crates = value.into_list()?,
+                ("external", "forbidden") => cfg.forbidden_paths = value.into_list()?,
+                ("layers", _) => {
+                    cfg.layers.insert(key, value.into_list()?);
+                }
+                ("dev-layers", _) => {
+                    cfg.dev_layers.insert(key, value.into_list()?);
+                }
+                ("modules", "order") => cfg.module_order = value.into_list()?,
+                ("hardened", "files") => cfg.hardened = value.into_list()?,
+                ("error-contract", "files") => cfg.error_files = value.into_list()?,
+                ("error-contract", "extra-markers") => cfg.error_markers = value.into_list()?,
+                ("drift", "bench-baselines") => cfg.drift.bench_baselines = value.into_string()?,
+                ("drift", "bench-sources") => cfg.drift.bench_sources = value.into_string()?,
+                ("drift", "scenarios-doc") => cfg.drift.scenarios_doc = value.into_string()?,
+                ("drift", "spec-source") => cfg.drift.spec_source = value.into_string()?,
+                ("drift", "cap-source") => cfg.drift.cap_source = value.into_string()?,
+                ("drift", "cap-mirror") => cfg.drift.cap_mirror = value.into_string()?,
+                _ => return Err(format!("repolint.toml: unknown key `{key}` in [{table}]")),
+            }
+        }
+        if cfg.layers.is_empty() {
+            return Err("repolint.toml: [layers] must name every workspace crate".to_string());
+        }
+        Ok(cfg)
+    }
+
+    /// Does `path` (repo-relative, `/`-separated) match the
+    /// error-contract file list (`dir/**` prefix globs or exact paths)?
+    pub fn error_contract_covers(&self, path: &str) -> bool {
+        self.error_files
+            .iter()
+            .any(|g| match g.strip_suffix("/**") {
+                Some(prefix) => path.starts_with(prefix) && path.len() > prefix.len(),
+                None => path == g,
+            })
+    }
+}
+
+/// A parsed value: string or list of strings.
+#[derive(Debug, Clone)]
+enum Value {
+    Str(String),
+    List(Vec<String>),
+}
+
+impl Value {
+    fn into_list(self) -> Result<Vec<String>, String> {
+        match self {
+            Value::List(l) => Ok(l),
+            Value::Str(s) => Err(format!("expected an array, found string `{s}`")),
+        }
+    }
+    fn into_string(self) -> Result<String, String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            Value::List(_) => Err("expected a string, found an array".to_string()),
+        }
+    }
+}
+
+/// Parse into `(table, key, value)` triples, in file order.
+fn parse_toml_subset(text: &str) -> Result<Vec<(String, String, Value)>, String> {
+    let mut out = Vec::new();
+    let mut table = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((n, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[') {
+            let name = name
+                .strip_suffix(']')
+                .ok_or_else(|| format!("repolint.toml:{}: unclosed table header", n + 1))?;
+            table = name.trim().to_string();
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!("repolint.toml:{}: expected `key = value`", n + 1));
+        };
+        let key = line[..eq].trim().trim_matches('"').to_string();
+        let mut rest = line[eq + 1..].trim().to_string();
+        // Multiline arrays: keep consuming lines until brackets balance.
+        while rest.starts_with('[') && !brackets_balance(&rest) {
+            let Some((_, cont)) = lines.next() else {
+                return Err(format!("repolint.toml:{}: unclosed array", n + 1));
+            };
+            rest.push(' ');
+            rest.push_str(strip_comment(cont).trim());
+        }
+        let value = parse_value(&rest).map_err(|e| format!("repolint.toml:{}: {e}", n + 1))?;
+        out.push((table.clone(), key, value));
+    }
+    Ok(out)
+}
+
+/// Strip a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn brackets_balance(s: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body
+            .strip_suffix(']')
+            .ok_or_else(|| format!("unclosed array `{s}`"))?;
+        let mut items = Vec::new();
+        for item in split_top_level_commas(body) {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            match parse_value(item)? {
+                Value::Str(v) => items.push(v),
+                Value::List(_) => return Err("nested arrays are not supported".to_string()),
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        let body = body
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unclosed string `{s}`"))?;
+        return Ok(Value::Str(body.to_string()));
+    }
+    Err(format!(
+        "unsupported value `{s}` (string or array expected)"
+    ))
+}
+
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_strings_and_multiline_arrays() {
+        let cfg = Config::parse(
+            r#"
+# comment
+[external]
+crates = ["serde", "rand"] # trailing comment
+forbidden = []
+
+[layers]
+cachesim = []
+plru-core = ["cachesim"]
+
+[modules]
+order = [
+  "service",  # top
+  "scenario",
+]
+
+[drift]
+bench-baselines = "BENCH_"
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.external_crates, vec!["serde", "rand"]);
+        assert_eq!(cfg.layers["plru-core"], vec!["cachesim"]);
+        assert_eq!(cfg.module_order, vec!["service", "scenario"]);
+        assert_eq!(cfg.drift.bench_baselines, "BENCH_");
+    }
+
+    #[test]
+    fn unknown_keys_and_bad_shapes_are_errors() {
+        assert!(Config::parse("[layers]\nx = []\n[typo]\nk = \"v\"").is_err());
+        assert!(Config::parse("[layers]\nx = \"not a list\"").is_err());
+        assert!(Config::parse("no equals sign").is_err());
+    }
+
+    #[test]
+    fn error_contract_globs() {
+        let cfg = Config {
+            error_files: vec!["src/**".into(), "crates/x/lib.rs".into()],
+            ..Default::default()
+        };
+        assert!(cfg.error_contract_covers("src/service/protocol.rs"));
+        assert!(cfg.error_contract_covers("crates/x/lib.rs"));
+        assert!(!cfg.error_contract_covers("crates/x/other.rs"));
+        assert!(!cfg.error_contract_covers("src"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Findings, pragma suppression and report rendering.
+
+use crate::jsonmini::escape;
+use crate::pragma::Pragma;
+use std::fmt;
+
+/// Every rule the engine can emit, with a one-line description. The
+/// pragma parser validates `allow(...)` names against this list.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "layering",
+        "crate and module dependencies must follow the repolint.toml layer graph",
+    ),
+    (
+        "panic",
+        "no unwrap/expect/panic!/assert!/unchecked indexing in hardened modules",
+    ),
+    (
+        "cap-alloc",
+        "allocations sized from decoded integers must be dominated by a MAX_* cap check",
+    ),
+    (
+        "error-style",
+        "error messages are single-line and start lowercase (the one-line stderr contract)",
+    ),
+    (
+        "drift",
+        "cross-artifact consistency: bench ids, documented scenario axes, paired cap constants",
+    ),
+    (
+        "config",
+        "repolint.toml must describe the tree that actually exists",
+    ),
+    (
+        "pragma",
+        "repolint pragmas must parse, carry a reason, and suppress something",
+    ),
+];
+
+/// Is `rule` a name the engine knows?
+pub fn known_rule(rule: &str) -> bool {
+    RULES.iter().any(|(r, _)| *r == rule)
+}
+
+/// One finding, anchored to a file and line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule name from [`RULES`].
+    pub rule: String,
+    /// Repo-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line (0 for whole-file/whole-config findings).
+    pub line: u32,
+    /// One-line description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.rule, self.message
+            )
+        } else {
+            write!(f, "{}: [{}] {}", self.file, self.rule, self.message)
+        }
+    }
+}
+
+/// The outcome of a full pass.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings — any of these means exit 1.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a pragma (visible in `--json`, never fatal).
+    pub suppressed: Vec<(Finding, String)>,
+    /// Non-fatal notes (unused pragmas); promoted to findings by `--deny`.
+    pub warnings: Vec<Finding>,
+    /// Files scanned (for the summary line).
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Apply pragma suppression: a finding is suppressed when a pragma
+    /// naming its rule sits on the same line or the line directly above
+    /// (in the same file). Returns the pragmas that suppressed nothing.
+    pub fn apply_pragmas(&mut self, file: &str, pragmas: &[Pragma]) -> Vec<Pragma> {
+        let mut used = vec![false; pragmas.len()];
+        let mut kept = Vec::new();
+        for finding in std::mem::take(&mut self.findings) {
+            let hit = (finding.file == file).then(|| {
+                pragmas.iter().position(|p| {
+                    (p.line == finding.line || p.line + 1 == finding.line)
+                        && p.rules.iter().any(|r| r == &finding.rule)
+                })
+            });
+            match hit.flatten() {
+                Some(idx) => {
+                    used[idx] = true;
+                    self.suppressed.push((finding, pragmas[idx].reason.clone()));
+                }
+                None => kept.push(finding),
+            }
+        }
+        self.findings = kept;
+        pragmas
+            .iter()
+            .zip(&used)
+            .filter(|(_, u)| !**u)
+            .map(|(p, _)| p.clone())
+            .collect()
+    }
+
+    /// Stable output order: file, then line, then rule. Collapses exact
+    /// duplicates — one literal can sit in two overlapping contexts
+    /// (`Err(SpecError::parse("…"))`) and must still report once.
+    pub fn sort(&mut self) {
+        let key = |f: &Finding| (f.file.clone(), f.line, f.rule.clone());
+        self.findings.sort_by_key(key);
+        self.findings.dedup();
+        self.warnings.sort_by_key(key);
+        self.warnings.dedup();
+        self.suppressed
+            .sort_by_key(|(f, _)| (f.file.clone(), f.line));
+    }
+
+    /// Render the machine-readable report.
+    pub fn to_json(&self) -> String {
+        let one = |f: &Finding| {
+            format!(
+                r#"{{"rule":"{}","file":"{}","line":{},"message":"{}"}}"#,
+                escape(&f.rule),
+                escape(&f.file),
+                f.line,
+                escape(&f.message)
+            )
+        };
+        let list = |fs: &[Finding]| fs.iter().map(one).collect::<Vec<_>>().join(",");
+        let suppressed = self
+            .suppressed
+            .iter()
+            .map(|(f, reason)| {
+                let mut s = one(f);
+                s.truncate(s.len() - 1);
+                format!(r#"{s},"allowed":"{}"}}"#, escape(reason))
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            r#"{{"files_scanned":{},"findings":[{}],"warnings":[{}],"suppressed":[{}]}}"#,
+            self.files_scanned,
+            list(&self.findings),
+            list(&self.warnings),
+            suppressed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str, line: u32) -> Finding {
+        Finding {
+            rule: rule.into(),
+            file: file.into(),
+            line,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn pragma_suppression_is_line_adjacent_and_rule_scoped() {
+        let mut report = Report {
+            findings: vec![
+                finding("panic", "a.rs", 10),     // pragma on 9: suppressed
+                finding("panic", "a.rs", 12),     // too far: kept
+                finding("cap-alloc", "a.rs", 10), // wrong rule: kept
+            ],
+            ..Default::default()
+        };
+        let pragmas = vec![Pragma {
+            rules: vec!["panic".into()],
+            reason: "why".into(),
+            line: 9,
+        }];
+        let unused = report.apply_pragmas("a.rs", &pragmas);
+        assert!(unused.is_empty());
+        assert_eq!(report.findings.len(), 2);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.suppressed[0].1, "why");
+    }
+
+    #[test]
+    fn unused_pragmas_are_returned() {
+        let mut report = Report::default();
+        let pragmas = vec![Pragma {
+            rules: vec!["panic".into()],
+            reason: "stale".into(),
+            line: 3,
+        }];
+        let unused = report.apply_pragmas("a.rs", &pragmas);
+        assert_eq!(unused.len(), 1);
+    }
+
+    #[test]
+    fn json_is_parseable() {
+        let mut report = Report::default();
+        report.findings.push(finding("drift", "BENCH_0.json", 0));
+        report.files_scanned = 3;
+        let parsed = crate::jsonmini::Json::parse(&report.to_json()).unwrap();
+        assert_eq!(parsed.get("findings").unwrap().items().len(), 1);
+    }
+}

@@ -1,0 +1,528 @@
+//! A small Rust lexer — just enough fidelity for line/token lint rules.
+//!
+//! The only hard requirement is *state correctness*: a `//` inside a
+//! string is not a comment, an `unwrap()` inside a doc comment is not a
+//! call, a `"` inside `r#"…"#` does not close anything, and `'a` (the
+//! lifetime) is not the start of a char literal. Everything else —
+//! numeric suffix grammar, multi-byte operator max-munch beyond the
+//! handful the rules read — is deliberately loose.
+//!
+//! The lexer never fails: any input string produces a token stream
+//! (unknown bytes come out as one-character [`Kind::Punct`] tokens), and
+//! an unterminated string/comment simply extends to end of input. This
+//! totality is property-tested in `tests/lexer_properties.rs`.
+
+/// Token class. Comments are real tokens here (the pragma parser reads
+/// them); rules that only care about code skip them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `unwrap`, `MAX_FRAME_BYTES`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Any string-ish literal: `"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`.
+    /// `text` keeps the delimiters.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Punctuation; multi-character for the operators the rules read
+    /// (`::`, `..`, `..=`, `->`, `=>`, `==`, `!=`, `<=`, `>=`, `<<`,
+    /// `>>`, `&&`, `||`), one character otherwise.
+    Punct,
+    /// Line or block comment, delimiters included. Doc comments too.
+    Comment,
+}
+
+/// One token with its 1-based source line (the line it *starts* on).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// For a [`Kind::Str`] token: the content between the delimiters
+    /// (escape sequences left as written). `None` for other kinds.
+    pub fn str_content(&self) -> Option<&str> {
+        if self.kind != Kind::Str {
+            return None;
+        }
+        let t = self.text.as_str();
+        // Strip the optional prefix (b, r, br, c, cr), then the hashes
+        // and quotes. Unterminated literals keep whatever is there.
+        let body = t.trim_start_matches(['b', 'r', 'c']);
+        let hashes = body.len() - body.trim_start_matches('#').len();
+        let body = &body[hashes..];
+        let body = body.strip_prefix('"').unwrap_or(body);
+        let body = body
+            .strip_suffix(&format!("\"{}", "#".repeat(hashes)))
+            .unwrap_or_else(|| body.strip_suffix('"').unwrap_or(body));
+        Some(body)
+    }
+
+    /// True for comment tokens that open a doc comment (`///`, `//!`,
+    /// `/**`, `/*!`).
+    pub fn is_doc_comment(&self) -> bool {
+        self.kind == Kind::Comment
+            && (self.text.starts_with("///")
+                || self.text.starts_with("//!")
+                || self.text.starts_with("/**")
+                || self.text.starts_with("/*!"))
+    }
+}
+
+/// Lex `src` completely. Total: never panics, consumes every byte.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+/// The significant (non-comment) tokens of `toks`.
+pub fn code(toks: &[Tok]) -> impl Iterator<Item = &Tok> {
+    toks.iter().filter(|t| t.kind != Kind::Comment)
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Tok> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' => self.pos += 1,
+                b'\n' => {
+                    self.pos += 1;
+                    self.line += 1;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(start, line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(start, line),
+                b'"' => self.string(start, line),
+                b'\'' => self.char_or_lifetime(start, line),
+                b'r' | b'b' | b'c' if self.literal_prefix() => {
+                    // b"...", r"...", r#"..."#, br#"..."#, c"..." etc.
+                    self.prefixed_literal(start, line);
+                }
+                _ if b.is_ascii_digit() => self.number(start, line),
+                _ if b == b'_' || b.is_ascii_alphabetic() || b >= 0x80 => self.ident(start, line),
+                _ => self.punct(start, line),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: Kind, start: usize, line: u32) {
+        self.out.push(Tok {
+            kind,
+            text: self.src[start..self.pos].to_string(),
+            line,
+        });
+    }
+
+    fn bump_line_counter(&mut self, from: usize) {
+        self.line += self.bytes[from..self.pos]
+            .iter()
+            .filter(|&&c| c == b'\n')
+            .count() as u32;
+    }
+
+    fn line_comment(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(Kind::Comment, start, line);
+    }
+
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.pos += 2;
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.bump_line_counter(start);
+        self.push(Kind::Comment, start, line);
+    }
+
+    /// Cooked string body starting at the opening `"` at `self.pos`.
+    fn string(&mut self, start: usize, line: u32) {
+        self.pos += 1; // opening quote
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => self.pos = (self.pos + 2).min(self.bytes.len()),
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.bump_line_counter(start);
+        self.push(Kind::Str, start, line);
+    }
+
+    /// Is the `r`/`b`/`c` at `self.pos` the prefix of a literal (rather
+    /// than the first letter of an identifier like `raw` or `build`)?
+    fn literal_prefix(&self) -> bool {
+        let mut i = self.pos;
+        // Up to two prefix letters (br, cr); both orders tolerated.
+        for _ in 0..2 {
+            match self.bytes.get(i) {
+                Some(b'r') | Some(b'b') | Some(b'c') => i += 1,
+                _ => break,
+            }
+        }
+        loop {
+            match self.bytes.get(i) {
+                Some(b'#') => i += 1, // raw-string hashes
+                Some(b'"') => return true,
+                Some(b'\'') => {
+                    // b'x' — byte char. Only a 1-letter prefix does this.
+                    return i == self.pos + 1 && self.bytes.get(self.pos) == Some(&b'b');
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    fn prefixed_literal(&mut self, start: usize, line: u32) {
+        let mut raw = false;
+        while let Some(b'r' | b'b' | b'c') = self.bytes.get(self.pos) {
+            raw |= self.bytes[self.pos] == b'r';
+            self.pos += 1;
+        }
+        if self.bytes.get(self.pos) == Some(&b'\'') {
+            // b'…' byte char: same body rules as a cooked char literal.
+            self.char_body();
+            self.bump_line_counter(start);
+            self.push(Kind::Char, start, line);
+            return;
+        }
+        let mut hashes = 0usize;
+        while self.bytes.get(self.pos) == Some(&b'#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            // `r#foo` raw identifier (or stray hashes): re-lex as ident.
+            self.pos = start;
+            self.raw_ident(start, line);
+            return;
+        }
+        if raw {
+            self.pos += 1; // opening quote
+            let closer: Vec<u8> = std::iter::once(b'"').chain(vec![b'#'; hashes]).collect();
+            while self.pos < self.bytes.len() {
+                if self.bytes[self.pos..].starts_with(&closer) {
+                    self.pos += closer.len();
+                    break;
+                }
+                self.pos += 1;
+            }
+            self.bump_line_counter(start);
+            self.push(Kind::Str, start, line);
+        } else {
+            self.string(start, line); // b"…" / c"…": cooked body
+        }
+    }
+
+    fn raw_ident(&mut self, start: usize, line: u32) {
+        // `r#ident` — consume prefix + ident chars.
+        self.pos += 2;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+        {
+            self.pos += 1;
+        }
+        self.push(Kind::Ident, start, line);
+    }
+
+    /// `'` at `self.pos`: char literal or lifetime?
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        // Lifetime: `'` + ident-start, NOT followed by a closing `'`.
+        // Char: everything else (`'a'`, `'\n'`, `'\u{1F600}'`, `'''`…).
+        let next = self.peek(1);
+        let is_ident_start =
+            next.is_some_and(|c| c == b'_' || c.is_ascii_alphabetic() || c >= 0x80);
+        if is_ident_start {
+            // Scan the would-be lifetime name; a trailing `'` makes it a
+            // char literal after all.
+            let mut i = self.pos + 1;
+            while self
+                .bytes
+                .get(i)
+                .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+            {
+                i += 1;
+            }
+            if self.bytes.get(i) != Some(&b'\'') {
+                self.pos = i;
+                self.push(Kind::Lifetime, start, line);
+                return;
+            }
+        }
+        self.char_body();
+        self.bump_line_counter(start);
+        self.push(Kind::Char, start, line);
+    }
+
+    /// Consume a char/byte-char literal starting at the `'` at `self.pos`.
+    fn char_body(&mut self) {
+        self.pos += 1; // opening quote
+        match self.bytes.get(self.pos) {
+            Some(b'\\') => {
+                self.pos += 2; // the escape head, e.g. `\n`, `\u`, `\'`
+                if self.bytes.get(self.pos - 1) == Some(&b'u') {
+                    // `\u{…}`: consume through the closing brace.
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|&c| c != b'}' && c != b'\n')
+                    {
+                        self.pos += 1;
+                    }
+                    self.pos = (self.pos + 1).min(self.bytes.len());
+                }
+            }
+            Some(_) => {
+                // One char (possibly multi-byte UTF-8).
+                self.pos += 1;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|&c| c >= 0x80 && c & 0xC0 == 0x80)
+                {
+                    self.pos += 1;
+                }
+            }
+            None => return,
+        }
+        if self.bytes.get(self.pos) == Some(&b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    fn number(&mut self, start: usize, line: u32) {
+        // Base prefix + digits/underscores.
+        if self.bytes[self.pos] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'o' | b'b' | b'X' | b'O' | b'B'))
+        {
+            self.pos += 2;
+        }
+        let digits = |c: u8| c.is_ascii_alphanumeric() || c == b'_';
+        while self.bytes.get(self.pos).is_some_and(|&c| digits(c)) {
+            self.pos += 1;
+        }
+        // Fraction — but `1..2` keeps its range operator.
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.pos += 1;
+            while self.bytes.get(self.pos).is_some_and(|&c| digits(c)) {
+                self.pos += 1;
+            }
+        }
+        // Exponent sign, e.g. `1e-5` (the `e` was eaten as a digit).
+        if matches!(self.bytes.get(self.pos), Some(b'+' | b'-'))
+            && matches!(self.bytes.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.pos += 1;
+            while self.bytes.get(self.pos).is_some_and(|&c| digits(c)) {
+                self.pos += 1;
+            }
+        }
+        self.push(Kind::Num, start, line);
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&c| c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80)
+        {
+            self.pos += 1;
+        }
+        self.push(Kind::Ident, start, line);
+    }
+
+    fn punct(&mut self, start: usize, line: u32) {
+        const TWO: &[&[u8]] = &[
+            b"..", b"::", b"->", b"=>", b"==", b"!=", b"<=", b">=", b"<<", b">>", b"&&", b"||",
+        ];
+        let rest = &self.bytes[self.pos..];
+        if rest.starts_with(b"..=") {
+            self.pos += 3;
+        } else if TWO.iter().any(|p| rest.starts_with(p)) {
+            self.pos += 2;
+        } else {
+            // Advance one whole UTF-8 scalar so we never split a char.
+            self.pos += 1;
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|&c| c >= 0x80 && c & 0xC0 == 0x80)
+            {
+                self.pos += 1;
+            }
+        }
+        self.push(Kind::Punct, start, line);
+    }
+}
+
+/// Line ranges (1-based, inclusive) covered by `#[cfg(test)]`-gated
+/// items — the regions the hardened-module rules skip.
+pub fn test_regions(toks: &[Tok]) -> Vec<(u32, u32)> {
+    let code: Vec<&Tok> = code(toks).collect();
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_cfg_test = code[i].text == "#"
+            && code.get(i + 1).is_some_and(|t| t.text == "[")
+            && code.get(i + 2).is_some_and(|t| t.text == "cfg")
+            && code.get(i + 3).is_some_and(|t| t.text == "(")
+            && code.get(i + 4).is_some_and(|t| t.text == "test")
+            && code.get(i + 5).is_some_and(|t| t.text == ")")
+            && code.get(i + 6).is_some_and(|t| t.text == "]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start_line = code[i].line;
+        // Find the item's opening brace, then its matching close.
+        let mut j = i + 7;
+        while j < code.len() && code[j].text != "{" {
+            j += 1;
+        }
+        let mut depth = 0i64;
+        let mut end_line = start_line;
+        while j < code.len() {
+            match code[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end_line = code[j].line;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end_line = code[j].line;
+            j += 1;
+        }
+        regions.push((start_line, end_line));
+        i = j + 1;
+    }
+    regions
+}
+
+/// Is `line` inside any of `regions`?
+pub fn in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_strings_and_chars_do_not_bleed() {
+        let toks = kinds(r#"let s = "// not a comment"; // real ' comment"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == Kind::Str).count(),
+            1,
+            "{toks:?}"
+        );
+        assert_eq!(toks.last().unwrap().0, Kind::Comment);
+
+        let toks = kinds("let c = '\"'; let x = \"y\";");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Str).count(), 1);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Char).count(), 1);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let toks = kinds(r###"let s = r#"a " b /* c */ d"# ;"###);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == Kind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].1, r###"r#"a " b /* c */ d"#"###);
+        assert!(!toks.iter().any(|(k, _)| *k == Kind::Comment));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Char).count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* a /* b */ c */ ident");
+        assert_eq!(toks[0].0, Kind::Comment);
+        assert_eq!(toks[1], (Kind::Ident, "ident".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let toks = lex("a\n\"x\ny\"\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // the string starts on line 2
+        assert_eq!(toks[2].line, 4); // b lands after the 2-line string
+    }
+
+    #[test]
+    fn str_content_strips_delimiters() {
+        let t = &lex(r##"r#"abc"#"##)[0];
+        assert_eq!(t.str_content(), Some("abc"));
+        let t = &lex(r#"b"xy""#)[0];
+        assert_eq!(t.str_content(), Some("xy"));
+        let t = &lex(r#""pl\"ain""#)[0];
+        assert_eq!(t.str_content(), Some("pl\\\"ain"));
+    }
+
+    #[test]
+    fn test_region_detection() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let toks = lex(src);
+        let regions = test_regions(&toks);
+        assert_eq!(regions, vec![(2, 5)]);
+        assert!(in_regions(&regions, 4));
+        assert!(!in_regions(&regions, 6));
+    }
+}

@@ -1,0 +1,111 @@
+//! The `repolint` binary. Exit status: 0 clean, 1 findings, 2 the tool
+//! itself could not run (bad config, unreadable tree).
+
+use repolint::config::Config;
+use repolint::findings::RULES;
+use repolint::workspace::Workspace;
+use repolint::Options;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: repolint [--root DIR] [--config FILE] [--deny] [--json FILE] [--list-rules]
+
+  --root DIR     workspace root (default: nearest ancestor with repolint.toml)
+  --deny         promote warnings (unused pragmas) to findings — the CI gate
+  --json FILE    also write the machine-readable report to FILE
+  --config FILE  config path (default: <root>/repolint.toml)
+  --list-rules   print the rule catalog and exit";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("repolint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<bool, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut json_out: Option<PathBuf> = None;
+    let mut opts = Options::default();
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => root = Some(next_path(&mut it, "--root")?),
+            "--config" => config = Some(next_path(&mut it, "--config")?),
+            "--json" => json_out = Some(next_path(&mut it, "--json")?),
+            "--deny" => opts.deny = true,
+            "--list-rules" => {
+                for (name, desc) in RULES {
+                    println!("{name:<12} {desc}");
+                }
+                return Ok(true);
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}`\n{USAGE}")),
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => find_root()?,
+    };
+    let config_path = config.unwrap_or_else(|| root.join("repolint.toml"));
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("{}: {e}", config_path.display()))?;
+    let cfg = Config::parse(&text)?;
+    let ws = Workspace::load(&root)?;
+    let report = repolint::run(&ws, &cfg, opts);
+
+    if let Some(path) = json_out {
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for w in &report.warnings {
+        println!("warning: {w}");
+    }
+    println!(
+        "repolint: {} files, {} finding(s), {} warning(s), {} allowed",
+        report.files_scanned,
+        report.findings.len(),
+        report.warnings.len(),
+        report.suppressed.len()
+    );
+    Ok(report.findings.is_empty())
+}
+
+fn next_path(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next()
+        .map(PathBuf::from)
+        .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+}
+
+/// Walk up from the current directory to the nearest repolint.toml.
+fn find_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+    loop {
+        if dir.join("repolint.toml").is_file() {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err("no repolint.toml found here or in any ancestor (pass --root)".to_string());
+        }
+    }
+}

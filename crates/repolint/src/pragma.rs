@@ -1,0 +1,190 @@
+//! The inline exception grammar:
+//!
+//! ```text
+//! // repolint: allow(<rule>[, <rule>…]) — <reason>
+//! ```
+//!
+//! The reason is mandatory — an exception nobody can explain is a
+//! finding, not an exception. The separator is an em dash (`—`); a
+//! double hyphen (`--`) is accepted on input and normalised by
+//! the [`Display`](fmt::Display) impl. A pragma suppresses matching findings on its own
+//! line (trailing form) and on the line directly below it (preceding
+//! form); put it immediately above the offending line, not above the
+//! statement.
+//!
+//! Any comment that contains `repolint:` but fails to parse is itself a
+//! finding (`pragma` rule) — a typo must never silently disable a lint.
+
+use crate::lexer::{Kind, Tok};
+use std::fmt;
+
+/// One parsed `// repolint: allow(...)` exception.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// Rules this pragma suppresses (as written, in order).
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line the pragma comment starts on.
+    pub line: u32,
+}
+
+impl fmt::Display for Pragma {
+    /// The canonical spelling (em dash, one space around it).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "// repolint: allow({}) — {}",
+            self.rules.join(", "),
+            self.reason
+        )
+    }
+}
+
+/// Why a `repolint:` comment did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PragmaError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Scan a file's token stream for pragma comments. Returns the parsed
+/// pragmas and the malformed ones. Only comment *tokens* are scanned, so
+/// a pragma spelled inside a string literal is inert. Doc comments are
+/// documentation, never directives — prose quoting the grammar is fine
+/// there. A regular comment is a directive when its body *starts with*
+/// `repolint:`; one that merely contains `repolint: allow` elsewhere is
+/// a buried (hence malformed) directive.
+pub fn scan(toks: &[Tok]) -> (Vec<Pragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for t in toks {
+        if t.kind != Kind::Comment || t.is_doc_comment() {
+            continue;
+        }
+        let body = t
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('*')
+            .trim();
+        if !(body.starts_with("repolint:") || body.contains("repolint: allow")) {
+            continue;
+        }
+        match parse_comment(&t.text, t.line) {
+            Ok(p) => pragmas.push(p),
+            Err(e) => errors.push(e),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Parse one comment's text (delimiters included) as a pragma.
+pub fn parse_comment(comment: &str, line: u32) -> Result<Pragma, PragmaError> {
+    let err = |message: String| PragmaError { line, message };
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('*')
+        .trim_end_matches("*/")
+        .trim();
+    let Some(rest) = body.strip_prefix("repolint:") else {
+        return Err(err(format!(
+            "comment mentions repolint: but does not start with it: `{body}`"
+        )));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return Err(err(
+            "expected `allow(<rule>) — <reason>` after `repolint:`".to_string()
+        ));
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err(err("expected `(` after `allow`".to_string()));
+    };
+    let Some(close) = rest.find(')') else {
+        return Err(err("unclosed `(` in allow list".to_string()));
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err(err("empty allow list".to_string()));
+    }
+    for r in &rules {
+        if !r
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        {
+            return Err(err(format!("malformed rule name `{r}`")));
+        }
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix('—')
+        .or_else(|| after.strip_prefix("--"))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err(err(
+            "missing reason (write `— <why this exception is sound>`)".to_string(),
+        ));
+    }
+    Ok(Pragma {
+        rules,
+        reason: reason.to_string(),
+        line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_canonical_and_ascii_separator() {
+        for sep in ["—", "--"] {
+            let p = parse_comment(
+                &format!("// repolint: allow(panic, cap-alloc) {sep} lock poisoning is a bug"),
+                7,
+            )
+            .unwrap();
+            assert_eq!(p.rules, vec!["panic", "cap-alloc"]);
+            assert_eq!(p.reason, "lock poisoning is a bug");
+            assert_eq!(
+                p.to_string(),
+                "// repolint: allow(panic, cap-alloc) — lock poisoning is a bug"
+            );
+        }
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        assert!(parse_comment("// repolint: allow(panic)", 1).is_err());
+        assert!(parse_comment("// repolint: allow(panic) — ", 1).is_err());
+        assert!(parse_comment("// repolint: allow() — no rules", 1).is_err());
+        assert!(parse_comment("// repolint: deny(panic) — nope", 1).is_err());
+    }
+
+    #[test]
+    fn pragmas_in_strings_are_inert_and_typos_are_errors() {
+        let toks = lex("let s = \"// repolint: allow(panic)\";\n// repolint: alow(panic) — typo\n");
+        let (pragmas, errors) = scan(&toks);
+        assert!(pragmas.is_empty());
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].line, 2);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let p = Pragma {
+            rules: vec!["layering".into()],
+            reason: "the bench crate sits above everything".into(),
+            line: 3,
+        };
+        let back = parse_comment(&p.to_string(), 3).unwrap();
+        assert_eq!(back, p);
+    }
+}

@@ -1,0 +1,219 @@
+//! Rule `drift` — cross-artifact consistency. Three checks, each
+//! pointing at things that historically desynchronise silently:
+//!
+//! 1. **Bench ids**: every `results[].id` in the gated `BENCH_*.json`
+//!    baselines must be producible by the bench sources. Criterion ids
+//!    are `group/leaf`; most leaves are formatted at runtime, so the
+//!    check is tiered: exact full-id literal anywhere in the bench
+//!    sources passes; otherwise the group name must appear as a string
+//!    literal, and in that same file the leaf must appear as a literal
+//!    or the file must build ids with `format!`.
+//! 2. **Scenario axes**: every `` **`axis`** `` documented in
+//!    `docs/SCENARIOS.md` must exist as an identifier in
+//!    `src/scenario/spec.rs` — docs may lag the code, never invent it.
+//! 3. **Paired caps**: the `[drift] cap-mirror` constant must be
+//!    *defined from* the `cap-source` constant (its initializer names
+//!    it) or carry a token-identical initializer — the frame codec and
+//!    the trace meta cap agree by construction, not by coincidence.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::jsonmini::Json;
+use crate::lexer::{code, Kind, Tok};
+use crate::workspace::Workspace;
+
+pub fn check(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_bench_ids(ws, cfg, &mut out);
+    check_scenario_axes(ws, cfg, &mut out);
+    check_cap_pair(ws, cfg, &mut out);
+    out
+}
+
+fn check_bench_ids(ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    let prefix = &cfg.drift.bench_baselines;
+    if prefix.is_empty() {
+        return;
+    }
+    // String literals per bench-source file, plus whether it format!s.
+    let mut sources: Vec<(&str, Vec<String>, bool)> = Vec::new();
+    for file in &ws.files {
+        if !file.path.starts_with(&cfg.drift.bench_sources) {
+            continue;
+        }
+        let mut lits = Vec::new();
+        let mut formats = false;
+        for t in code(&file.toks) {
+            if t.kind == Kind::Str {
+                if let Some(c) = t.str_content() {
+                    lits.push(c.to_string());
+                }
+            }
+            if t.kind == Kind::Ident && (t.text == "format" || t.text == "BenchmarkId") {
+                formats = true;
+            }
+        }
+        sources.push((&file.path, lits, formats));
+    }
+
+    for (path, text) in &ws.texts {
+        let name = path.rsplit('/').next().unwrap_or(path);
+        if !(name.starts_with(prefix.as_str()) && name.ends_with(".json")) {
+            continue;
+        }
+        let doc = match Json::parse(text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                out.push(Finding {
+                    rule: "drift".into(),
+                    file: path.clone(),
+                    line: 0,
+                    message: format!("baseline is not valid JSON: {e}"),
+                });
+                continue;
+            }
+        };
+        let results = doc.get("results").map(Json::items).unwrap_or(&[]);
+        for r in results {
+            let Some(id) = r.get("id").and_then(Json::as_str) else {
+                continue;
+            };
+            if !id_is_producible(id, &sources) {
+                out.push(Finding {
+                    rule: "drift".into(),
+                    file: path.clone(),
+                    line: 0,
+                    message: format!(
+                        "bench id `{id}` has no matching group/leaf literal under {} — \
+                         stale baseline or renamed bench",
+                        cfg.drift.bench_sources
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn id_is_producible(id: &str, sources: &[(&str, Vec<String>, bool)]) -> bool {
+    // Tier 1: the whole id is a literal somewhere.
+    if sources
+        .iter()
+        .any(|(_, lits, _)| lits.iter().any(|l| l == id))
+    {
+        return true;
+    }
+    // Tier 2: group literal, with the leaf resolvable in the same file.
+    let (group, leaf) = match id.split_once('/') {
+        Some(pair) => pair,
+        None => return false,
+    };
+    sources.iter().any(|(_, lits, formats)| {
+        lits.iter().any(|l| l == group)
+            && (*formats || lits.iter().any(|l| l == leaf || l.contains(leaf)))
+    })
+}
+
+fn check_scenario_axes(ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    let doc_path = &cfg.drift.scenarios_doc;
+    if doc_path.is_empty() {
+        return;
+    }
+    let (Some(doc), Some(spec)) = (ws.text(doc_path), ws.file(&cfg.drift.spec_source)) else {
+        return; // missing paths are `config` findings, reported by the engine
+    };
+    let spec_idents: Vec<&str> = code(&spec.toks)
+        .filter(|t| t.kind == Kind::Ident)
+        .map(|t| t.text.as_str())
+        .collect();
+    for (n, line) in doc.lines().enumerate() {
+        for axis in bold_code_idents(line) {
+            if !spec_idents.contains(&axis) {
+                out.push(Finding {
+                    rule: "drift".into(),
+                    file: doc_path.clone(),
+                    line: (n + 1) as u32,
+                    message: format!(
+                        "documented scenario axis `{axis}` does not exist in {}",
+                        cfg.drift.spec_source
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Extract `ident` from every ``**`ident`**`` occurrence in a line —
+/// the SCENARIOS.md convention for naming a spec axis.
+fn bold_code_idents(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(start) = rest.find("**`") {
+        let after = &rest[start + 3..];
+        let Some(end) = after.find("`**") else { break };
+        let candidate = &after[..end];
+        if !candidate.is_empty()
+            && candidate
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            out.push(candidate);
+        }
+        rest = &after[end + 3..];
+    }
+    out
+}
+
+fn check_cap_pair(ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    let (Some((src_path, src_const)), Some((mir_path, mir_const))) = (
+        split_site(&cfg.drift.cap_source),
+        split_site(&cfg.drift.cap_mirror),
+    ) else {
+        return;
+    };
+    let (Some(src_file), Some(mir_file)) = (ws.file(src_path), ws.file(mir_path)) else {
+        return; // config findings cover missing files
+    };
+    let Some(src_init) = const_initializer(&src_file.toks, src_const) else {
+        return;
+    };
+    let Some((mir_line, mir_init)) = const_initializer(&mir_file.toks, mir_const) else {
+        return;
+    };
+    let names_source = mir_init.iter().any(|t| *t == src_const);
+    let identical = src_init.1 == mir_init;
+    if !(names_source || identical) {
+        out.push(Finding {
+            rule: "drift".into(),
+            file: mir_path.to_string(),
+            line: mir_line,
+            message: format!(
+                "`{mir_const}` must be defined from `{src_const}` (or carry an identical \
+                 initializer) — the paired caps have drifted"
+            ),
+        });
+    }
+}
+
+fn split_site(s: &str) -> Option<(&str, &str)> {
+    s.split_once(':')
+        .filter(|(p, c)| !p.is_empty() && !c.is_empty())
+}
+
+/// `(line, initializer-token-texts)` of `const NAME … = <init> ;`.
+fn const_initializer(toks: &[Tok], name: &str) -> Option<(u32, Vec<String>)> {
+    let toks: Vec<&Tok> = code(toks).collect();
+    for i in 0..toks.len() {
+        if !(toks[i].kind == Kind::Ident
+            && toks[i].text == "const"
+            && toks.get(i + 1).is_some_and(|t| t.text == name))
+        {
+            continue;
+        }
+        let line = toks[i + 1].line;
+        let eq = (i + 2..toks.len()).find(|&j| toks[j].text == "=")?;
+        let end = (eq + 1..toks.len()).find(|&j| toks[j].text == ";")?;
+        let init = toks[eq + 1..end].iter().map(|t| t.text.clone()).collect();
+        return Some((line, init));
+    }
+    None
+}

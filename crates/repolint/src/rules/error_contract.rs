@@ -1,0 +1,193 @@
+//! Rule `error-style` — the one-line stderr contract.
+//!
+//! Every user-facing tool here reports failures as a single lowercase
+//! line on stderr (`sweep: journal corrupt at line 14`). This rule
+//! checks the string literals that feed that contract, in the files
+//! matched by `[error-contract] files`:
+//!
+//! * literals inside `Err(…)` expressions;
+//! * literals passed to error constructors — any `XxxError::yyy(…)`
+//!   path call, plus function names from `[error-contract]
+//!   extra-markers`;
+//! * literals in `write!`/`writeln!` bodies inside a
+//!   `impl Display for XxxError` block.
+//!
+//! Each such literal must be single-line (no `\n`, raw or escaped) and
+//! must not start with an uppercase ASCII letter — the message is
+//! usually embedded mid-sentence after a `tool:` prefix. Format strings
+//! that start with a placeholder (`"{path}: bad magic"`) are fine.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::{code, Kind, Tok};
+use crate::workspace::Workspace;
+
+pub fn check(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !cfg.error_contract_covers(&file.path) {
+            continue;
+        }
+        let toks: Vec<&Tok> = code(&file.toks).collect();
+        let display_regions = display_impl_regions(&toks);
+        for i in 0..toks.len() {
+            if file.in_test(toks[i].line) {
+                continue;
+            }
+            if let Some(span) = error_call(&toks, i, cfg, &display_regions) {
+                check_literals(&toks, i, span, &file.path, &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// If token `i` opens an error-message context, return how deep to scan
+/// (the index just past its opening `(`).
+fn error_call(
+    toks: &[&Tok],
+    i: usize,
+    cfg: &Config,
+    display_regions: &[(usize, usize)],
+) -> Option<usize> {
+    let t = toks[i];
+    if t.kind != Kind::Ident {
+        return None;
+    }
+    let open_paren = toks.get(i + 1).is_some_and(|n| n.text == "(");
+
+    // `Err(` — also matches `Result::Err(`; fine, same contract.
+    if t.text == "Err" && open_paren {
+        return Some(i + 2);
+    }
+    // `XxxError::yyy(`.
+    if t.text.ends_with("Error")
+        && toks.get(i + 1).is_some_and(|n| n.text == "::")
+        && toks.get(i + 2).is_some_and(|n| n.kind == Kind::Ident)
+        && toks.get(i + 3).is_some_and(|n| n.text == "(")
+    {
+        return Some(i + 4);
+    }
+    // Configured extra markers: `bail(`, `spec_err(`, …
+    if cfg.error_markers.iter().any(|m| m == &t.text) && open_paren {
+        return Some(i + 2);
+    }
+    // `write!(` / `writeln!(` inside `impl Display for XxxError`.
+    if (t.text == "write" || t.text == "writeln")
+        && toks.get(i + 1).is_some_and(|n| n.text == "!")
+        && toks.get(i + 2).is_some_and(|n| n.text == "(")
+        && display_regions.iter().any(|&(a, b)| a <= i && i < b)
+    {
+        return Some(i + 3);
+    }
+    None
+}
+
+/// Token-index ranges of `impl … Display for XxxError { … }` bodies.
+fn display_impl_regions(toks: &[&Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    for i in 0..toks.len() {
+        if !(toks[i].kind == Kind::Ident && toks[i].text == "impl") {
+            continue;
+        }
+        // Scan forward to the opening `{`, remembering whether we saw
+        // `Display for <ident ending in Error>` on the way.
+        let mut saw_display = false;
+        let mut saw_error_target = false;
+        let mut j = i + 1;
+        while j < toks.len() && toks[j].text != "{" && toks[j].text != ";" {
+            if toks[j].text == "Display" {
+                saw_display = true;
+            }
+            if toks[j].text == "for" && toks.get(j + 1).is_some_and(|n| n.text.ends_with("Error")) {
+                saw_error_target = true;
+            }
+            j += 1;
+        }
+        if !(saw_display && saw_error_target && j < toks.len() && toks[j].text == "{") {
+            continue;
+        }
+        let mut depth = 1;
+        let mut k = j + 1;
+        while k < toks.len() && depth > 0 {
+            match toks[k].text.as_str() {
+                "{" => depth += 1,
+                "}" => depth -= 1,
+                _ => {}
+            }
+            k += 1;
+        }
+        regions.push((j, k));
+    }
+    regions
+}
+
+/// Check every string literal inside the call starting at `start` (the
+/// token just past the opening delimiter).
+fn check_literals(toks: &[&Tok], head: usize, start: usize, path: &str, out: &mut Vec<Finding>) {
+    let mut depth = 1;
+    let mut j = start;
+    while j < toks.len() && depth > 0 {
+        match toks[j].text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            _ => {
+                let t = toks[j];
+                if depth >= 1 && t.kind == Kind::Str {
+                    if let Some(content) = t.str_content() {
+                        check_one(content, t.line, path, out);
+                    }
+                }
+            }
+        }
+        j += 1;
+    }
+    let _ = head;
+}
+
+/// Does the literal produce a newline at runtime? A `\n` escape or a
+/// bare newline does; a backslash-newline *continuation* (the idiomatic
+/// way to wrap a long one-line message in source) does not.
+fn is_multiline(content: &str) -> bool {
+    let mut chars = content.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            // \\, \" and \<newline> continuations stay single-line.
+            '\\' => {
+                if let Some('n') = chars.next() {
+                    return true;
+                }
+            }
+            '\n' => return true,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn check_one(content: &str, line: u32, path: &str, out: &mut Vec<Finding>) {
+    let finding = |message: String| Finding {
+        rule: "error-style".into(),
+        file: path.to_string(),
+        line,
+        message,
+    };
+    if is_multiline(content) {
+        out.push(finding(
+            "error message spans multiple lines — the stderr contract is one line per failure"
+                .to_string(),
+        ));
+    }
+    // Title-case start only; an all-caps acronym (`NRU scale…`, `I/O`)
+    // is not sentence case and reads fine mid-line.
+    let mut chars = content.chars();
+    let title_case = chars.next().is_some_and(|c| c.is_ascii_uppercase())
+        && chars.next().is_some_and(|c| c.is_ascii_lowercase());
+    if title_case {
+        out.push(finding(format!(
+            "error message starts uppercase (`{}…`) — messages embed after a `tool:` \
+             prefix, start lowercase",
+            &content[..content.len().min(24)]
+        )));
+    }
+}

@@ -1,0 +1,281 @@
+//! Rule `layering` — the ARCHITECTURE.md dependency discipline,
+//! machine-checked at three levels:
+//!
+//! 1. **Manifests**: each crate's `[dependencies]` /
+//!    `[dev-dependencies]` may only name crates the `[layers]` /
+//!    `[dev-layers]` tables allow (vendor stubs from `[external]` are an
+//!    unlayered utility tier available everywhere).
+//! 2. **Sources**: every `use`, `extern crate` and inline path
+//!    qualifier (`plru_core::Scheme`) is resolved to its crate and
+//!    checked against the same graph — a manifest edge someone forgot
+//!    to remove does not excuse an import. Paths matching
+//!    `[external] forbidden` (stub internals) are flagged everywhere.
+//! 3. **Root modules**: inside the root crate, `[modules] order` lists
+//!    the layers highest-first (`bin` → `service` → `scenario` →
+//!    `engine`); a module may reach down the list, never up.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::{code, Kind, Tok};
+use crate::workspace::{SourceFile, Workspace};
+use std::collections::BTreeMap;
+
+pub fn check(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_manifests(ws, cfg, &mut out);
+
+    // ident (underscored) → package name, for path resolution.
+    let mut ident_to_pkg = BTreeMap::new();
+    for name in cfg.layers.keys().chain(cfg.external_crates.iter()) {
+        ident_to_pkg.insert(name.replace('-', "_"), name.clone());
+    }
+
+    let root_pkg = ws
+        .crates
+        .first()
+        .map(|c| c.name.clone())
+        .unwrap_or_default();
+    for file in &ws.files {
+        check_file(file, cfg, &ident_to_pkg, &root_pkg, &mut out);
+    }
+    out
+}
+
+fn check_manifests(ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        let manifest = if krate.dir.is_empty() {
+            "Cargo.toml".to_string()
+        } else {
+            format!("{}/Cargo.toml", krate.dir)
+        };
+        let Some(allowed) = cfg.layers.get(&krate.name) else {
+            out.push(Finding {
+                rule: "layering".into(),
+                file: manifest,
+                line: 0,
+                message: format!(
+                    "crate `{}` is not in repolint.toml [layers] — add it to the layer graph",
+                    krate.name
+                ),
+            });
+            continue;
+        };
+        let dev_extra = cfg.dev_layers.get(&krate.name);
+        for (dep, dev) in krate
+            .deps
+            .iter()
+            .map(|d| (d, false))
+            .chain(krate.dev_deps.iter().map(|d| (d, true)))
+        {
+            let ok = cfg.external_crates.contains(dep)
+                || allowed.contains(dep)
+                || (dev && dev_extra.is_some_and(|e| e.contains(dep)));
+            if !ok {
+                out.push(Finding {
+                    rule: "layering".into(),
+                    file: manifest.clone(),
+                    line: 0,
+                    message: format!(
+                        "crate `{}` must not depend on `{dep}` ({} per the layer graph)",
+                        krate.name,
+                        if dev {
+                            "not even as a dev-dependency"
+                        } else {
+                            "not an allowed layer edge"
+                        },
+                    ),
+                });
+            }
+        }
+    }
+}
+
+fn check_file(
+    file: &SourceFile,
+    cfg: &Config,
+    ident_to_pkg: &BTreeMap<String, String>,
+    root_pkg: &str,
+    out: &mut Vec<Finding>,
+) {
+    let toks: Vec<&Tok> = code(&file.toks).collect();
+    let allowed = cfg.layers.get(&file.krate);
+    let dev_extra = cfg.dev_layers.get(&file.krate);
+    // Test code (integration tests, benches, #[cfg(test)] mods) gets the
+    // dev-dependency edges on top of the runtime ones.
+    let dev_ok = |line: u32| file.is_test_code() || file.in_test(line);
+
+    // Which module layer (index into order, 0 = highest) is this file in?
+    let own_layer = (file.krate == root_pkg)
+        .then(|| {
+            cfg.module_order.iter().position(|m| {
+                file.path.starts_with(&format!("src/{m}/")) || file.path == format!("src/{m}.rs")
+            })
+        })
+        .flatten();
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = toks[i];
+        // `extern crate foo;`
+        if t.kind == Kind::Ident
+            && t.text == "extern"
+            && toks.get(i + 1).is_some_and(|n| n.text == "crate")
+        {
+            if let Some(name) = toks.get(i + 2).filter(|n| n.kind == Kind::Ident) {
+                check_crate_ref(
+                    &name.text,
+                    name.line,
+                    file,
+                    ident_to_pkg,
+                    cfg,
+                    allowed,
+                    dev_extra,
+                    &dev_ok,
+                    out,
+                );
+            }
+            i += 3;
+            continue;
+        }
+        // `foo::...` path qualifier (also covers `use foo::...`).
+        if t.kind == Kind::Ident && toks.get(i + 1).is_some_and(|n| n.text == "::") {
+            // Skip mid-path segments: `a::b::c` only resolves `a`.
+            let is_path_head = i == 0 || toks[i - 1].text != "::";
+            if is_path_head {
+                if t.text == "crate" {
+                    check_module_ref(&toks, i, file, cfg, own_layer, out);
+                } else {
+                    check_crate_ref(
+                        &t.text,
+                        t.line,
+                        file,
+                        ident_to_pkg,
+                        cfg,
+                        allowed,
+                        dev_extra,
+                        &dev_ok,
+                        out,
+                    );
+                }
+                check_forbidden(&toks, i, file, cfg, out);
+            }
+        }
+        i += 1;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_crate_ref(
+    ident: &str,
+    line: u32,
+    file: &SourceFile,
+    ident_to_pkg: &BTreeMap<String, String>,
+    cfg: &Config,
+    allowed: Option<&Vec<String>>,
+    dev_extra: Option<&Vec<String>>,
+    dev_ok: &dyn Fn(u32) -> bool,
+    out: &mut Vec<Finding>,
+) {
+    let Some(pkg) = ident_to_pkg.get(ident) else {
+        return; // std, core, alloc, local modules, …
+    };
+    if *pkg == file.krate || cfg.external_crates.contains(pkg) {
+        return;
+    }
+    let ok = allowed.is_some_and(|a| a.contains(pkg))
+        || (dev_ok(line) && dev_extra.is_some_and(|e| e.contains(pkg)));
+    if !ok {
+        out.push(Finding {
+            rule: "layering".into(),
+            file: file.path.clone(),
+            line,
+            message: format!(
+                "`{}` must not reach into `{pkg}` — not an allowed edge in the layer graph",
+                file.krate
+            ),
+        });
+    }
+}
+
+/// `crate::<seg>` inside the root crate: `seg` must not sit *above* the
+/// file's own module layer. Handles `crate::{a, b}` grouped imports.
+fn check_module_ref(
+    toks: &[&Tok],
+    i: usize,
+    file: &SourceFile,
+    cfg: &Config,
+    own_layer: Option<usize>,
+    out: &mut Vec<Finding>,
+) {
+    let Some(own) = own_layer else { return };
+    let mut segs: Vec<(&str, u32)> = Vec::new();
+    match toks.get(i + 2) {
+        Some(t) if t.kind == Kind::Ident => segs.push((&t.text, t.line)),
+        Some(t) if t.text == "{" => {
+            let mut depth = 1;
+            let mut j = i + 3;
+            while j < toks.len() && depth > 0 {
+                match toks[j].text.as_str() {
+                    "{" => depth += 1,
+                    "}" => depth -= 1,
+                    _ => {
+                        if depth == 1 && toks[j].kind == Kind::Ident {
+                            segs.push((&toks[j].text, toks[j].line));
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+        _ => {}
+    }
+    for (seg, line) in segs {
+        if let Some(target) = cfg.module_order.iter().position(|m| m == seg) {
+            if target < own {
+                out.push(Finding {
+                    rule: "layering".into(),
+                    file: file.path.clone(),
+                    line,
+                    message: format!(
+                        "module `{}` must not reach up into `crate::{seg}` \
+                         (layer order: {})",
+                        cfg.module_order[own],
+                        cfg.module_order.join(" > "),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Flag any path that starts with a `[external] forbidden` prefix.
+fn check_forbidden(
+    toks: &[&Tok],
+    i: usize,
+    file: &SourceFile,
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    // Assemble the `a::b::c` chain starting at i.
+    let mut path = toks[i].text.clone();
+    let mut j = i + 1;
+    while toks.get(j).is_some_and(|t| t.text == "::")
+        && toks.get(j + 1).is_some_and(|t| t.kind == Kind::Ident)
+    {
+        path.push_str("::");
+        path.push_str(&toks[j + 1].text);
+        j += 2;
+    }
+    for forbidden in &cfg.forbidden_paths {
+        if path == *forbidden || path.starts_with(&format!("{forbidden}::")) {
+            out.push(Finding {
+                rule: "layering".into(),
+                file: file.path.clone(),
+                line: toks[i].line,
+                message: format!(
+                    "path `{path}` reaches into vendor-stub internals (`{forbidden}` is forbidden)"
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! The rule families. Each rule is a pure function over the
+//! [`Workspace`](crate::workspace::Workspace) model and the
+//! [`Config`](crate::config::Config) — no filesystem access — returning
+//! raw findings; pragma suppression happens centrally in the engine.
+
+pub mod cap_alloc;
+pub mod drift;
+pub mod error_contract;
+pub mod layering;
+pub mod panic_freedom;

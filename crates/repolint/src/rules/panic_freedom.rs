@@ -1,0 +1,144 @@
+//! Rule `panic` — panic-freedom on untrusted-input paths.
+//!
+//! Inside the `[hardened] files` modules (wire decoders, journal
+//! loaders, spec parsing) a malformed input must surface as a readable
+//! one-line error, never a panic. Forbidden outside `#[cfg(test)]`
+//! regions:
+//!
+//! * `.unwrap()` / `.expect(…)` calls;
+//! * the aborting macros `panic!`, `assert!`, `assert_eq!`,
+//!   `assert_ne!`, `unreachable!`, `todo!`, `unimplemented!`;
+//! * indexing/slicing with a *computed* index (`buf[i]`,
+//!   `buf[..len]`) — use `.get(..)` and return an error. Indexing with
+//!   literal or SCREAMING_CASE-const bounds (`rest[3..7]`, `b[0]`) is
+//!   allowed: it cannot drift with input data.
+//!
+//! `debug_assert!` stays legal — it documents internal invariants and
+//! compiles out of release builds, so hostile input cannot abort a
+//! production process through it.
+
+use crate::config::Config;
+use crate::findings::Finding;
+use crate::lexer::{code, Kind, Tok};
+use crate::workspace::Workspace;
+
+const MACROS: &[&str] = &[
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "unreachable",
+    "todo",
+    "unimplemented",
+];
+
+pub fn check(ws: &Workspace, cfg: &Config) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for file in &ws.files {
+        if !cfg.hardened.contains(&file.path) {
+            continue;
+        }
+        let toks: Vec<&Tok> = code(&file.toks).collect();
+        for i in 0..toks.len() {
+            if file.in_test(toks[i].line) {
+                continue;
+            }
+            check_site(&toks, i, &file.path, &mut out);
+        }
+    }
+    out
+}
+
+fn check_site(toks: &[&Tok], i: usize, path: &str, out: &mut Vec<Finding>) {
+    let t = toks[i];
+    let finding = |line: u32, message: String| Finding {
+        rule: "panic".into(),
+        file: path.to_string(),
+        line,
+        message,
+    };
+
+    // `.unwrap()` / `.expect(`.
+    if t.kind == Kind::Ident
+        && (t.text == "unwrap" || t.text == "expect")
+        && i > 0
+        && toks[i - 1].text == "."
+        && toks.get(i + 1).is_some_and(|n| n.text == "(")
+    {
+        out.push(finding(
+            t.line,
+            format!(
+                ".{}() on a hardened path — return the error \
+                 (or pragma-annotate why it cannot fire)",
+                t.text
+            ),
+        ));
+    }
+
+    // Aborting macros: `name!(` — but not `debug_assert*!`.
+    if t.kind == Kind::Ident
+        && MACROS.contains(&t.text.as_str())
+        && toks.get(i + 1).is_some_and(|n| n.text == "!")
+        && (i == 0 || toks[i - 1].text != ".")
+    {
+        out.push(finding(
+            t.line,
+            format!(
+                "`{}!` aborts on a hardened path — return an error instead",
+                t.text
+            ),
+        ));
+    }
+
+    // Computed indexing: `expr [ …ident… ]` in expression position.
+    if t.text == "["
+        && i > 0
+        && (toks[i - 1].kind == Kind::Ident || toks[i - 1].text == ")" || toks[i - 1].text == "]")
+    {
+        // `vec![…]` and attribute `#[…]` never get here: their `[` is
+        // preceded by `!` / `#`.
+        let mut depth = 1;
+        let mut j = i + 1;
+        let mut risky: Option<String> = None;
+        while j < toks.len() && depth > 0 {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => depth -= 1,
+                _ => {
+                    let tj = toks[j];
+                    if depth >= 1
+                        && tj.kind == Kind::Ident
+                        && risky.is_none()
+                        && !is_const_like(&tj.text)
+                    {
+                        risky = Some(tj.text.clone());
+                    }
+                }
+            }
+            j += 1;
+        }
+        if let Some(ident) = risky {
+            out.push(finding(
+                t.line,
+                format!(
+                    "indexing with computed `{ident}` on a hardened path — \
+                     use .get(..) and return an error"
+                ),
+            ));
+        }
+    }
+}
+
+/// Idents that cannot carry untrusted magnitude: SCREAMING_CASE consts
+/// and the primitive-cast keywords that show up inside index brackets.
+fn is_const_like(ident: &str) -> bool {
+    let screaming = ident
+        .chars()
+        .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && ident.chars().any(|c| c.is_ascii_uppercase());
+    screaming
+        || matches!(
+            ident,
+            "as" | "usize" | "u8" | "u16" | "u32" | "u64" | "isize" | "i8" | "i16" | "i32" | "i64"
+        )
+}

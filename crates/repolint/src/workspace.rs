@@ -1,0 +1,291 @@
+//! The in-memory view of the workspace the rules run against: every
+//! crate's manifest dependencies plus every lexed source file.
+//!
+//! Rules never touch the filesystem — they read this model — so the
+//! fixture tests can assemble synthetic workspaces entirely in memory.
+
+use crate::lexer::{self, Tok};
+use crate::pragma::{self, Pragma, PragmaError};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One workspace member's manifest facts.
+#[derive(Debug, Clone, Default)]
+pub struct CrateInfo {
+    /// Package name (`plru-core`, not the `plru_core` lib ident).
+    pub name: String,
+    /// Repo-relative directory (`""` for the root package).
+    pub dir: String,
+    /// `[dependencies]` names.
+    pub deps: Vec<String>,
+    /// `[dev-dependencies]` names.
+    pub dev_deps: Vec<String>,
+}
+
+/// One lexed source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Repo-relative path, `/`-separated.
+    pub path: String,
+    /// Owning package name.
+    pub krate: String,
+    /// Full token stream (comments included).
+    pub toks: Vec<Tok>,
+    /// `#[cfg(test)]` line ranges.
+    pub test_regions: Vec<(u32, u32)>,
+    /// Parsed pragmas.
+    pub pragmas: Vec<Pragma>,
+    /// Malformed `repolint:` comments.
+    pub pragma_errors: Vec<PragmaError>,
+}
+
+impl SourceFile {
+    /// Build from source text (the only constructor — walkers and
+    /// fixtures both go through it).
+    pub fn from_source(path: &str, krate: &str, src: &str) -> SourceFile {
+        let toks = lexer::lex(src);
+        let test_regions = lexer::test_regions(&toks);
+        let (pragmas, pragma_errors) = pragma::scan(&toks);
+        SourceFile {
+            path: path.to_string(),
+            krate: krate.to_string(),
+            toks,
+            test_regions,
+            pragmas,
+            pragma_errors,
+        }
+    }
+
+    /// Is `line` inside a `#[cfg(test)]` region?
+    pub fn in_test(&self, line: u32) -> bool {
+        lexer::in_regions(&self.test_regions, line)
+    }
+
+    /// Is this file itself test or bench code (integration tests,
+    /// benches, examples), as opposed to shipped library/binary source?
+    pub fn is_test_code(&self) -> bool {
+        let p = &self.path;
+        p.contains("/tests/") || p.starts_with("tests/") || p.contains("/benches/")
+    }
+}
+
+/// The whole repo as the rules see it.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Absolute root (unused by rules; kept for diagnostics).
+    pub root: PathBuf,
+    /// All workspace members (vendor stubs excluded).
+    pub crates: Vec<CrateInfo>,
+    /// All lexed `.rs` files (vendor and target excluded).
+    pub files: Vec<SourceFile>,
+    /// Non-Rust artifacts the drift rules read: repo-relative path →
+    /// contents. Populated for `BENCH_*`, docs and manifests.
+    pub texts: Vec<(String, String)>,
+}
+
+impl Workspace {
+    /// Load the real tree under `root`.
+    pub fn load(root: &Path) -> Result<Workspace, String> {
+        let mut ws = Workspace {
+            root: root.to_path_buf(),
+            ..Default::default()
+        };
+
+        // Root package + members under crates/.
+        ws.crates.push(parse_manifest(root, "", "Cargo.toml")?);
+        let crates_dir = root.join("crates");
+        for entry in read_dir_sorted(&crates_dir)? {
+            let dir = format!("crates/{entry}");
+            if root.join(&dir).join("Cargo.toml").is_file() {
+                ws.crates
+                    .push(parse_manifest(root, &dir, &format!("{dir}/Cargo.toml"))?);
+            }
+        }
+
+        // Rust sources: root src/tests/examples + each member crate.
+        let mut rs_roots = vec![
+            "src".to_string(),
+            "tests".to_string(),
+            "examples".to_string(),
+        ];
+        rs_roots.extend(
+            ws.crates
+                .iter()
+                .filter(|c| !c.dir.is_empty())
+                .map(|c| c.dir.clone()),
+        );
+        for top in rs_roots {
+            collect_rs(root, Path::new(&top), &mut ws)?;
+        }
+
+        // Drift inputs: bench baselines, docs, manifests.
+        for entry in read_dir_sorted(root)? {
+            if entry.ends_with(".json") || entry.ends_with(".toml") {
+                ws.push_text(root, &entry)?;
+            }
+        }
+        for entry in read_dir_sorted(&root.join("docs")).unwrap_or_default() {
+            if entry.ends_with(".md") {
+                ws.push_text(root, &format!("docs/{entry}"))?;
+            }
+        }
+        for krate in ws.crates.clone() {
+            if !krate.dir.is_empty() {
+                ws.push_text(root, &format!("{}/Cargo.toml", krate.dir))?;
+            }
+        }
+        Ok(ws)
+    }
+
+    fn push_text(&mut self, root: &Path, rel: &str) -> Result<(), String> {
+        let text = fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
+        self.texts.push((rel.to_string(), text));
+        Ok(())
+    }
+
+    /// The package owning a repo-relative path.
+    pub fn crate_of(&self, path: &str) -> &str {
+        self.crates
+            .iter()
+            .filter(|c| !c.dir.is_empty() && path.starts_with(&format!("{}/", c.dir)))
+            .map(|c| c.name.as_str())
+            .next()
+            .unwrap_or_else(|| self.crates.first().map(|c| c.name.as_str()).unwrap_or(""))
+    }
+
+    /// Text artifact lookup.
+    pub fn text(&self, path: &str) -> Option<&str> {
+        self.texts
+            .iter()
+            .find(|(p, _)| p == path)
+            .map(|(_, t)| t.as_str())
+    }
+
+    /// Source-file lookup.
+    pub fn file(&self, path: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.path == path)
+    }
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        if let Some(name) = entry.file_name().to_str() {
+            names.push(name.to_string());
+        }
+    }
+    names.sort();
+    Ok(names)
+}
+
+fn collect_rs(root: &Path, rel: &Path, ws: &mut Workspace) -> Result<(), String> {
+    let abs = root.join(rel);
+    if !abs.is_dir() {
+        return Ok(());
+    }
+    for name in read_dir_sorted(&abs)? {
+        if name == "target" || name == "vendor" || name.starts_with('.') {
+            continue;
+        }
+        let sub = rel.join(&name);
+        let abs_sub = root.join(&sub);
+        if abs_sub.is_dir() {
+            collect_rs(root, &sub, ws)?;
+        } else if name.ends_with(".rs") {
+            let path = sub.to_string_lossy().replace('\\', "/");
+            let src = fs::read_to_string(&abs_sub).map_err(|e| format!("{path}: {e}"))?;
+            let krate = ws.crate_of(&path).to_string();
+            ws.files.push(SourceFile::from_source(&path, &krate, &src));
+        }
+    }
+    Ok(())
+}
+
+/// Extract package name + dependency names from a manifest. Handles the
+/// workspace idioms used here: `name.workspace = true`, inline tables,
+/// and plain `name = "version"`.
+fn parse_manifest(root: &Path, dir: &str, rel: &str) -> Result<CrateInfo, String> {
+    let text = fs::read_to_string(root.join(rel)).map_err(|e| format!("{rel}: {e}"))?;
+    Ok(parse_manifest_text(dir, &text))
+}
+
+/// The text-level half of manifest parsing (fixture-testable).
+pub fn parse_manifest_text(dir: &str, text: &str) -> CrateInfo {
+    let mut info = CrateInfo {
+        dir: dir.to_string(),
+        ..Default::default()
+    };
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        // `serde.workspace = true` → dep name `serde`.
+        let name = key.split('.').next().unwrap_or(key).trim_matches('"');
+        match section.as_str() {
+            "package" if key == "name" => {
+                info.name = line[eq + 1..].trim().trim_matches('"').to_string();
+            }
+            "dependencies" => info.deps.push(name.to_string()),
+            "dev-dependencies" => info.dev_deps.push(name.to_string()),
+            _ => {}
+        }
+    }
+    info
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_dep_names_cover_workspace_and_inline_forms() {
+        let info = parse_manifest_text(
+            "crates/x",
+            r#"
+[package]
+name = "x-ray"
+[dependencies]
+serde.workspace = true
+plru-repro = { path = "../.." }
+rand = "0.8"
+[dev-dependencies]
+proptest.workspace = true
+[[bench]]
+name = "b"
+"#,
+        );
+        assert_eq!(info.name, "x-ray");
+        assert_eq!(info.deps, vec!["serde", "plru-repro", "rand"]);
+        assert_eq!(info.dev_deps, vec!["proptest"]);
+    }
+
+    #[test]
+    fn crate_of_prefers_member_dirs_over_root() {
+        let ws = Workspace {
+            crates: vec![
+                CrateInfo {
+                    name: "root-pkg".into(),
+                    ..Default::default()
+                },
+                CrateInfo {
+                    name: "member".into(),
+                    dir: "crates/member".into(),
+                    ..Default::default()
+                },
+            ],
+            ..Default::default()
+        };
+        assert_eq!(ws.crate_of("crates/member/src/lib.rs"), "member");
+        assert_eq!(ws.crate_of("src/lib.rs"), "root-pkg");
+    }
+}

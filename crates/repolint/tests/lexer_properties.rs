@@ -1,0 +1,135 @@
+//! Property tests for the lexer and the pragma grammar — the two pieces
+//! of repolint that consume arbitrary text and must never panic or
+//! mis-track state.
+//!
+//! The vendored proptest stub has no regex-string strategies, so inputs
+//! are built from alphabets (`select` over chars) and fragment pools
+//! (`select` over lexer-state-changing snippets) via `prop_map`.
+
+use proptest::prelude::*;
+use repolint::lexer::{self, Kind};
+use repolint::pragma::{self, Pragma};
+
+/// Strings over a fixed alphabet, length in `size`.
+fn string_of(alphabet: &str, size: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(alphabet.chars().collect::<Vec<char>>()),
+        size,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+/// Adversarial source text: fragments chosen to open, close and nest
+/// every lexer state (strings, raw strings, chars, both comment forms).
+fn source_text() -> impl Strategy<Value = String> {
+    let fragments: Vec<&'static str> = vec![
+        "\"", "r#\"", "\"#", "r\"", "/*", "*/", "//", "///", "'", "b'", "\\", "\\\"", "\n", "\r\n",
+        " ", "ident", "unwrap", "0x1f", "1_000", "'a'", "'static", "#", "!", "[", "]", "(", ")",
+        "{", "}", ";", "—", "é", "r###\"", "\"###",
+    ];
+    prop::collection::vec(prop::sample::select(fragments), 0..24).prop_map(|fs| fs.concat())
+}
+
+proptest! {
+    /// Totality: any input lexes without panicking, and every token's
+    /// text actually occurs in the input (the lexer never invents or
+    /// reorders bytes).
+    #[test]
+    fn lex_is_total_and_faithful(src in source_text()) {
+        let toks = lexer::lex(&src);
+        for t in &toks {
+            prop_assert!(src.contains(&t.text), "token {:?} not found in input", t.text);
+            prop_assert!(t.line >= 1);
+        }
+        // Lines are nondecreasing in stream order.
+        for w in toks.windows(2) {
+            prop_assert!(w[0].line <= w[1].line);
+        }
+    }
+
+    /// String-state round-trip: a cooked string literal containing any
+    /// newline-free, quote-free, escape-free payload comes back as one
+    /// Str token with that payload, and nothing inside it leaks out as
+    /// code tokens.
+    #[test]
+    fn string_contents_never_leak(
+        payload in string_of("abc XYZ09;:,.(){}#'*/-—!", 0..40),
+    ) {
+        let src = format!("let s = \"{payload}\"; x.unwrap()");
+        let toks = lexer::lex(&src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Str).collect();
+        prop_assert_eq!(strs.len(), 1);
+        prop_assert_eq!(strs[0].str_content().unwrap(), payload.as_str());
+        // The unwrap after the literal is still visible as code.
+        prop_assert!(toks.iter().any(|t| t.kind == Kind::Ident && t.text == "unwrap"));
+    }
+
+    /// Comment-state round-trip: a `//` comment swallows the rest of the
+    /// line — code spelled inside it never tokenizes as idents.
+    #[test]
+    fn line_comments_swallow_their_line(
+        payload in string_of("abc XYZ09\"\\'{}()*/;—", 0..40),
+    ) {
+        let src = format!("//x {payload}\nnext_line");
+        let toks = lexer::lex(&src);
+        prop_assert_eq!(toks.iter().filter(|t| t.kind == Kind::Comment).count(), 1);
+        let idents: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Ident).collect();
+        prop_assert_eq!(idents.len(), 1);
+        prop_assert_eq!(idents[0].text.as_str(), "next_line");
+        prop_assert_eq!(idents[0].line, 2);
+    }
+
+    /// Raw strings swallow quotes: `r#"…"#` with embedded `"` stays one
+    /// token and terminates exactly at the matching `"#`.
+    #[test]
+    fn raw_strings_contain_quotes(
+        payload in string_of("abc \"XYZ09'{}()*/\\;", 0..40),
+    ) {
+        let src = format!("let s = r#\"{payload}\"#; tail");
+        let toks = lexer::lex(&src);
+        prop_assert_eq!(toks.iter().filter(|t| t.kind == Kind::Str).count(), 1);
+        prop_assert!(toks.iter().any(|t| t.kind == Kind::Ident && t.text == "tail"));
+    }
+
+    /// The pragma parser is total on arbitrary comment bodies.
+    #[test]
+    fn pragma_parse_never_panics(body in source_text()) {
+        let _ = pragma::parse_comment(&format!("// {body}"), 1);
+    }
+
+    /// Display → parse round-trips for every well-formed pragma.
+    #[test]
+    fn pragma_display_parse_round_trip(
+        heads in prop::collection::vec(string_of("abcdehlmnop", 1..2), 1..4),
+        tails in prop::collection::vec(string_of("abclmn09-", 0..12), 4..5),
+        reason in string_of("abc XYZ09,.;<>=", 1..60),
+    ) {
+        prop_assume!(!reason.trim().is_empty());
+        let rules: Vec<String> = heads
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{h}{}", tails[i % tails.len()]))
+            .collect();
+        let p = Pragma { rules, reason: reason.trim().to_string(), line: 5 };
+        let back = pragma::parse_comment(&p.to_string(), 5).unwrap();
+        prop_assert_eq!(back, p);
+    }
+}
+
+/// Unterminated constructs must still consume all input (no infinite
+/// loop, no panic) — a separate deterministic check for the nasty ones.
+#[test]
+fn unterminated_constructs_are_total() {
+    for src in [
+        "\"never closed",
+        "r#\"never closed",
+        "/* never closed",
+        "/* nested /* comment",
+        "'",
+        "b'",
+        "r###",
+    ] {
+        let toks = lexer::lex(src);
+        assert!(!toks.is_empty(), "{src:?} produced no tokens");
+    }
+}

@@ -46,6 +46,7 @@ const GENERATIONS: usize = 3;
 fn pack(s: &[u8]) -> u128 {
     debug_assert!(!s.is_empty() && s.len() <= MAX_SYMBOL_LEN);
     let mut bytes = [0u8; 8];
+    // repolint: allow(panic) — encoder-side; s.len() <= MAX_SYMBOL_LEN (8) is the caller's invariant, debug-asserted above
     bytes[..s.len()].copy_from_slice(s);
     ((s.len() as u128) << 64) | u128::from(u64::from_le_bytes(bytes))
 }
@@ -59,7 +60,9 @@ fn unpack(key: u128) -> ([u8; 8], usize) {
 fn pack2(a: &[u8], b: &[u8]) -> u128 {
     debug_assert!(a.len() + b.len() <= MAX_SYMBOL_LEN);
     let mut bytes = [0u8; 8];
+    // repolint: allow(panic) — encoder-side; a.len() + b.len() <= MAX_SYMBOL_LEN (8) is debug-asserted above
     bytes[..a.len()].copy_from_slice(a);
+    // repolint: allow(panic) — same invariant as the line above
     bytes[a.len()..a.len() + b.len()].copy_from_slice(b);
     (((a.len() + b.len()) as u128) << 64) | u128::from(u64::from_le_bytes(bytes))
 }
@@ -76,6 +79,7 @@ impl Lookup {
     fn new(table: &[([u8; 8], usize)]) -> Self {
         let mut buckets: Vec<Vec<([u8; 8], usize, u8)>> = vec![Vec::new(); 256];
         for (code, &(bytes, len)) in table.iter().enumerate() {
+            // repolint: allow(panic) — buckets has 256 entries; a u8 index cannot miss
             buckets[bytes[0] as usize].push((bytes, len, code as u8));
         }
         for b in &mut buckets {
@@ -87,7 +91,9 @@ impl Lookup {
     /// Longest symbol matching a prefix of `input`, as `(code, length)`.
     #[inline]
     fn longest(&self, input: &[u8]) -> Option<(u8, usize)> {
+        // repolint: allow(panic) — callers pass a non-empty suffix; 256 buckets cover every u8 first byte
         for &(bytes, len, code) in &self.buckets[input[0] as usize] {
+            // repolint: allow(panic) — len <= input.len() short-circuits first, and len <= 8 = bytes.len() by table construction
             if len <= input.len() && bytes[..len] == input[..len] {
                 return Some((code, len));
             }
@@ -105,10 +111,12 @@ fn train(input: &[u8]) -> Vec<([u8; 8], usize)> {
         let mut prev: Option<&[u8]> = None;
         let mut i = 0;
         while i < input.len() {
+            // repolint: allow(panic) — i < input.len() is the loop condition
             let len = match lookup.longest(&input[i..]) {
                 Some((_, l)) => l,
                 None => 1,
             };
+            // repolint: allow(panic) — longest() only matches within the suffix, so i + len <= input.len()
             let tok = &input[i..i + len];
             *counts.entry(pack(tok)).or_default() += 1;
             if let Some(p) = prev {
@@ -146,11 +154,13 @@ pub fn compress(input: &[u8], out: &mut Vec<u8>) {
     out.push(table.len() as u8);
     for &(bytes, len) in &table {
         out.push(len as u8);
+        // repolint: allow(panic) — encoder-side; train() never emits len > 8
         out.extend_from_slice(&bytes[..len]);
     }
     let lookup = Lookup::new(&table);
     let mut i = 0;
     while i < input.len() {
+        // repolint: allow(panic) — i < input.len() is the loop condition
         match lookup.longest(&input[i..]) {
             Some((code, len)) => {
                 out.push(code);
@@ -158,6 +168,7 @@ pub fn compress(input: &[u8], out: &mut Vec<u8>) {
             }
             None => {
                 out.push(ESCAPE);
+                // repolint: allow(panic) — i < input.len() is the loop condition
                 out.push(input[i]);
                 i += 1;
             }
@@ -193,7 +204,9 @@ pub fn decompress(input: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Result<(),
         if after.len() < len {
             return Err(format!("symbol table truncated inside entry {i}"));
         }
+        // repolint: allow(panic) — len <= after.len() was just checked; both slices share that bound
         table.push(&after[..len]);
+        // repolint: allow(panic) — same check as the line above
         rest = &after[len..];
     }
     let mut codes = rest.iter();
@@ -202,6 +215,7 @@ pub fn decompress(input: &[u8], raw_len: usize, out: &mut Vec<u8>) -> Result<(),
             let lit = codes.next().ok_or("dangling escape at end of chunk")?;
             std::slice::from_ref(lit)
         } else if (code as usize) < table.len() {
+            // repolint: allow(panic) — the branch condition is exactly the bounds check
             table[code as usize]
         } else {
             return Err(format!(

@@ -17,6 +17,10 @@ use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 4] = b"PLRT";
 const VERSION: u32 = 1;
+/// Pre-allocation ceiling when the header's record count is untrusted:
+/// reserve at most this many records up front and let the vector grow
+/// normally past it, so a lying count cannot allocate unboundedly.
+const MAX_PREALLOC_RECORDS: usize = 1 << 24;
 
 pub(crate) fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
@@ -94,7 +98,7 @@ pub fn read_trace<R: Read>(r: &mut R) -> io::Result<Vec<MemRecord>> {
     let mut count = [0u8; 8];
     r.read_exact(&mut count)?;
     let count = u64::from_le_bytes(count) as usize;
-    let mut records = Vec::with_capacity(count.min(1 << 24));
+    let mut records = Vec::with_capacity(count.min(MAX_PREALLOC_RECORDS));
     let mut prev_addr = 0u64;
     for _ in 0..count {
         let gap = read_varint(r)? as u32;

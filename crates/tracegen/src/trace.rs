@@ -95,10 +95,17 @@ pub const CHUNK_RECORDS: usize = 4096;
 /// generous headroom while keeping a corrupt length field from
 /// allocating unbounded memory.
 pub const MAX_CHUNK_PAYLOAD: u32 = 1 << 20;
-/// Upper bound on the header's metadata blob, mirroring the sweep
-/// service's `MAX_FRAME_BYTES` (`src/service/protocol.rs`): both are the
-/// "no untrusted u32 length may allocate more than this" line.
+/// Upper bound on the header's metadata blob. This is the workspace's
+/// single "no untrusted u32 length may allocate more than this" line:
+/// the sweep service's `MAX_FRAME_BYTES` (`src/service/protocol.rs`) is
+/// defined from this constant, and repolint's drift rule keeps the
+/// pairing honest.
 pub const MAX_META_BYTES: u32 = 64 * 1024 * 1024;
+/// Upper bound on a trace's thread count. The paper's CPA experiments
+/// top out at 256 cores; 64 Ki leaves two orders of magnitude headroom
+/// while keeping a hostile header from sizing per-thread tables
+/// unboundedly.
+pub const MAX_TRACE_THREADS: usize = 1 << 16;
 /// v2 chunk codec: payload is the varint stream, stored as-is.
 pub const CODEC_RAW: u8 = 0;
 /// v2 chunk codec: payload is [`crate::dict`]-compressed.
@@ -301,6 +308,7 @@ impl<W: Write + Seek> TraceWriter<W> {
         }
         Ok(TraceWriter {
             w,
+            // repolint: allow(cap-alloc) — writer-side: the thread count comes from the caller's own meta, not a decoded file
             counts: vec![0; threads],
             counts_pos,
             bufs: (0..threads).map(|_| ChunkBuf::default()).collect(),
@@ -335,6 +343,7 @@ impl<W: Write + Seek> TraceWriter<W> {
         )?;
         buf.prev_addr = rec.addr;
         buf.records += 1;
+        // repolint: allow(panic) — the bufs.get_mut above bounds-checked thread; counts has the same length
         self.counts[thread] += 1;
         if buf.records as usize >= CHUNK_RECORDS {
             self.flush_chunk(thread)?;
@@ -343,6 +352,7 @@ impl<W: Write + Seek> TraceWriter<W> {
     }
 
     fn flush_chunk(&mut self, thread: usize) -> Result<(), TraceError> {
+        // repolint: allow(panic) — internal: every caller has already bounds-checked thread against bufs
         let buf = &mut self.bufs[thread];
         if buf.records == 0 {
             return Ok(());
@@ -451,6 +461,11 @@ pub fn read_info<R: Read>(r: &mut R) -> Result<TraceInfo, TraceError> {
             meta.threads()
         )));
     }
+    if threads > MAX_TRACE_THREADS {
+        return Err(TraceError::format(format!(
+            "implausible thread count {threads} (cap {MAX_TRACE_THREADS})"
+        )));
+    }
     let mut records = Vec::with_capacity(threads);
     for _ in 0..threads {
         records.push(read_u64(r)?);
@@ -493,21 +508,24 @@ fn read_chunk_header<R: Read>(
     }
     let mut rest = [0u8; 16];
     let rest_len = if version >= TRACE_VERSION_V2 { 16 } else { 11 };
+    // repolint: allow(panic) — rest_len is 11 or 16 by construction; rest is 16 bytes
     r.read_exact(&mut rest[..rest_len])
         .map_err(|_| TraceError::format("truncated chunk header"))?;
     let mut b4 = [0u8; 4];
     b4[0] = first[0];
     b4[1..4].copy_from_slice(&rest[0..3]);
     let thread = u32::from_le_bytes(b4) as usize;
-    let records = u32::from_le_bytes(rest[3..7].try_into().unwrap());
+    // Literal indexes into the fixed 16-byte header — infallible, unlike
+    // the slice-and-try_into spelling this replaces.
+    let records = u32::from_le_bytes([rest[3], rest[4], rest[5], rest[6]]);
     let (codec, raw_len, payload_len) = if version >= TRACE_VERSION_V2 {
         (
             rest[7],
-            u32::from_le_bytes(rest[8..12].try_into().unwrap()),
-            u32::from_le_bytes(rest[12..16].try_into().unwrap()),
+            u32::from_le_bytes([rest[8], rest[9], rest[10], rest[11]]),
+            u32::from_le_bytes([rest[12], rest[13], rest[14], rest[15]]),
         )
     } else {
-        let payload_len = u32::from_le_bytes(rest[7..11].try_into().unwrap());
+        let payload_len = u32::from_le_bytes([rest[7], rest[8], rest[9], rest[10]]);
         (CODEC_RAW, payload_len, payload_len)
     };
     if thread >= threads {
@@ -645,6 +663,7 @@ impl<R: Read> TraceReader<R> {
     /// Next record of this thread's stream; `Ok(None)` once the header's
     /// record count has been delivered.
     pub fn try_next(&mut self) -> Result<Option<MemRecord>, TraceError> {
+        // repolint: allow(panic) — TraceReader::new rejects thread >= meta.threads() = records.len()
         if self.delivered >= self.info.records[self.thread] {
             return Ok(None);
         }
@@ -658,8 +677,11 @@ impl<R: Read> TraceReader<R> {
                 None => {
                     return Err(TraceError::format(format!(
                         "trace ends early: thread {} delivered {} of {} records",
-                        self.thread, self.delivered, self.info.records[self.thread]
-                    )))
+                        self.thread,
+                        self.delivered,
+                        // repolint: allow(panic) — same construction-time bound as in try_next's first line
+                        self.info.records[self.thread]
+                    )));
                 }
             };
             self.scratch.resize(h.payload_len as usize, 0);
@@ -673,6 +695,7 @@ impl<R: Read> TraceReader<R> {
             self.chunk_pos = 0;
             decode_payload(&h, &self.scratch, &mut self.raw, &mut self.chunk)?;
         }
+        // repolint: allow(panic) — the while loop above refills until chunk_pos < chunk.len()
         let rec = self.chunk[self.chunk_pos];
         self.chunk_pos += 1;
         self.delivered += 1;
@@ -695,6 +718,7 @@ pub fn validate_path(path: impl AsRef<Path>) -> Result<TraceInfo, TraceError> {
             "thread {t} has no records (an empty per-thread stream cannot replay)"
         )));
     }
+    // repolint: allow(cap-alloc) — read_info already rejected threads > MAX_TRACE_THREADS
     let mut seen = vec![0u64; info.meta.threads()];
     let mut scratch = Vec::new();
     let mut raw = Vec::new();
@@ -705,6 +729,7 @@ pub fn validate_path(path: impl AsRef<Path>) -> Result<TraceInfo, TraceError> {
             .map_err(|_| TraceError::format("truncated chunk payload"))?;
         decoded.clear();
         decode_payload(&h, &scratch, &mut raw, &mut decoded)?;
+        // repolint: allow(panic) — read_chunk_header rejects h.thread >= threads
         seen[h.thread] += u64::from(h.records);
     }
     if seen != info.records {
@@ -833,6 +858,7 @@ impl DecodePool {
                 std::thread::Builder::new()
                     .name(format!("pltc-decode-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // repolint: allow(panic) — spawn fails only on OS resource exhaustion, never on trace input
                     .expect("spawn trace decode worker")
             })
             .collect();
@@ -845,6 +871,7 @@ impl DecodePool {
     }
 
     fn submit(&self, task: DecodeTask) {
+        // repolint: allow(panic) — poisoning means a worker already panicked; propagating is the only honest move
         let mut st = self.shared.state.lock().expect("decode pool poisoned");
         st.queue.push_back(task);
         drop(st);
@@ -857,6 +884,7 @@ impl Drop for DecodePool {
         self.shared
             .state
             .lock()
+            // repolint: allow(panic) — poisoning means a worker already panicked; propagating is the only honest move
             .expect("decode pool poisoned")
             .shutdown = true;
         self.shared.available.notify_all();
@@ -870,6 +898,7 @@ fn worker_loop(shared: &PoolShared) {
     let mut raw = Vec::new();
     loop {
         let task = {
+            // repolint: allow(panic) — poisoning means a worker already panicked; propagating is the only honest move
             let mut st = shared.state.lock().expect("decode pool poisoned");
             loop {
                 if let Some(t) = st.queue.pop_front() {
@@ -878,6 +907,7 @@ fn worker_loop(shared: &PoolShared) {
                 if st.shutdown {
                     return;
                 }
+                // repolint: allow(panic) — poisoning means a worker already panicked; propagating is the only honest move
                 st = shared.available.wait(st).expect("decode pool poisoned");
             }
         };
@@ -888,6 +918,7 @@ fn worker_loop(shared: &PoolShared) {
             raw_len: task.raw_len,
             payload_len: task.payload.len() as u32,
         };
+        // repolint: allow(cap-alloc) — read_chunk_header capped records at CHUNK_RECORDS before the task was queued
         let mut out = Vec::with_capacity(task.records as usize);
         let result = decode_payload(&h, &task.payload, &mut raw, &mut out)
             .map(|()| out)
@@ -966,12 +997,14 @@ impl PipelinedReader {
         if self.delivered == 0 {
             0
         } else {
+            // repolint: allow(panic) — PipelinedReader::new rejects thread >= meta.threads() = records.len()
             (self.delivered - 1) / self.info.records[self.thread]
         }
     }
 
     /// Top the in-flight window up with this thread's next chunks.
     fn top_up(&mut self) -> Result<(), TraceError> {
+        // repolint: allow(panic) — same construction-time bound as in wraps()
         let total = self.info.records[self.thread];
         while self.pending.len() < self.window && !self.eof {
             if !self.cyclic() && self.submitted >= total {
@@ -983,6 +1016,7 @@ impl PipelinedReader {
                         self.file.seek_relative(i64::from(h.payload_len))?;
                         continue;
                     }
+                    // repolint: allow(cap-alloc) — read_chunk_header capped payload_len at MAX_CHUNK_PAYLOAD
                     let mut payload = vec![0u8; h.payload_len as usize];
                     self.file
                         .read_exact(&mut payload)
@@ -1018,6 +1052,7 @@ impl PipelinedReader {
     /// Same contract as [`TraceReader::try_next`]; cyclic streams never
     /// return `Ok(None)` (the rewind happens on the file side).
     fn try_next(&mut self) -> Result<Option<MemRecord>, TraceError> {
+        // repolint: allow(panic) — same construction-time bound as in wraps()
         let total = self.info.records[self.thread];
         if !self.cyclic() && self.delivered >= total {
             return Ok(None);
@@ -1041,6 +1076,7 @@ impl PipelinedReader {
             // Refill the window so workers stay busy while we drain.
             self.top_up()?;
         }
+        // repolint: allow(panic) — the while loop above refills until pos < current.len()
         let rec = self.current[self.pos];
         self.pos += 1;
         self.delivered += 1;
@@ -1130,6 +1166,7 @@ impl RecordedThread {
             )?),
         };
         let info = reader.info();
+        // repolint: allow(panic) — the reader constructor above rejects thread >= meta.threads() = records.len()
         if info.records[thread] == 0 {
             let cyclic = info.meta.insts == 0;
             return Err(TraceError::format(format!(
@@ -1175,7 +1212,12 @@ impl TraceSource for RecordedThread {
                     // the stream (the pipelined reader rewinds its file
                     // cursor internally and never reports a lap end).
                     self.seq_wraps += 1;
+                    // TraceSource::next_record has no error channel: the file was
+                    // fully validated by validate_path before replay began, so a
+                    // failure here is the environment changing underneath us
+                    // (deleted/truncated file), not untrusted input.
                     let file = File::open(&self.path).unwrap_or_else(|e| {
+                        // repolint: allow(panic) — post-validation environment failure; no Result channel in TraceSource
                         panic!(
                             "recorded trace {} vanished mid-replay: {e}",
                             self.path.display()
@@ -1183,6 +1225,7 @@ impl TraceSource for RecordedThread {
                     });
                     self.reader = ReaderImpl::Sequential(
                         TraceReader::new(BufReader::new(file), self.thread).unwrap_or_else(|e| {
+                            // repolint: allow(panic) — post-validation environment failure; no Result channel in TraceSource
                             panic!(
                                 "recorded trace {} failed on rewind for thread {}: {e}",
                                 self.path.display(),
@@ -1191,6 +1234,7 @@ impl TraceSource for RecordedThread {
                         }),
                     );
                 }
+                // repolint: allow(panic) — exhaustion is pre-checked against the engine's instruction target; no Result channel in TraceSource
                 Ok(None) => panic!(
                     "recorded trace {} exhausted for thread {} after {} records; \
                      re-record with a larger --insts than the replay needs",
@@ -1198,6 +1242,7 @@ impl TraceSource for RecordedThread {
                     self.thread,
                     self.reader.delivered()
                 ),
+                // repolint: allow(panic) — post-validation environment failure; no Result channel in TraceSource
                 Err(e) => panic!(
                     "recorded trace {} failed for thread {}: {e}",
                     self.path.display(),
@@ -1228,6 +1273,7 @@ pub fn open_sources_with(
     let path = path.as_ref();
     let info = load_info(path)?;
     let pool = (opts.workers > 0).then(|| Arc::new(DecodePool::new(opts.workers)));
+    // repolint: allow(cap-alloc) — read_info already rejected threads > MAX_TRACE_THREADS
     let mut sources: Vec<Box<dyn TraceSource>> = Vec::with_capacity(info.meta.threads());
     for t in 0..info.meta.threads() {
         sources.push(Box::new(RecordedThread::open_with(path, t, pool.clone())?));
@@ -1273,8 +1319,10 @@ impl<W: Write + Seek + Send> TraceSource for CapturingSource<W> {
         let rec = self.inner.next_record();
         self.writer
             .lock()
+            // repolint: allow(panic) — poisoning means a sibling capture thread already panicked
             .expect("capture writer poisoned")
             .push(self.thread, rec)
+            // repolint: allow(panic) — capture writes fail on local disk errors, not untrusted input; no Result channel in TraceSource
             .unwrap_or_else(|e| panic!("trace capture write failed: {e}"));
         rec
     }

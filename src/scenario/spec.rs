@@ -255,6 +255,7 @@ impl ScenarioSpec {
     /// Render the spec as pretty JSON (the format shipped under
     /// `scenarios/`).
     pub fn to_json_pretty(&self) -> String {
+        // repolint: allow(panic) — serialize-side: rendering a spec we hold, not parsing input
         serde_json::to_string_pretty(self).expect("specs always serialize")
     }
 }
@@ -290,6 +291,7 @@ impl MissCurveSpec {
 
     /// Render the spec as pretty JSON.
     pub fn to_json_pretty(&self) -> String {
+        // repolint: allow(panic) — serialize-side: rendering a spec we hold, not parsing input
         serde_json::to_string_pretty(self).expect("specs always serialize")
     }
 }

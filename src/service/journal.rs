@@ -125,7 +125,12 @@ impl Journal {
     }
 
     fn write_line(&mut self, v: &Value) -> Result<(), JournalError> {
-        let text = serde_json::to_string(v).expect("journal lines always serialize");
+        let text = serde_json::to_string(v).map_err(|e| {
+            JournalError::Io(
+                self.path.clone(),
+                std::io::Error::other(format!("unserializable journal line: {e}")),
+            )
+        })?;
         let io = |e| JournalError::Io(self.path.clone(), e);
         self.out.write_all(text.as_bytes()).map_err(io)?;
         self.out.write_all(b"\n").map_err(io)?;

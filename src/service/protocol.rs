@@ -31,8 +31,11 @@ use std::io::{self, Read, Write};
 
 /// Hard ceiling on one frame's payload (64 MiB). Reports of very large
 /// sweeps stream per-case, so a single frame never needs more; anything
-/// bigger is a corrupt or hostile length word.
-pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+/// bigger is a corrupt or hostile length word. Defined from the trace
+/// container's meta cap — the workspace has exactly one "no untrusted
+/// u32 length may allocate more than this" line, and repolint's drift
+/// rule keeps the pairing from ever re-forking.
+pub const MAX_FRAME_BYTES: u32 = tracegen::trace::MAX_META_BYTES;
 
 /// Machine-readable error classes carried by [`Response::Error`] frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -338,6 +341,7 @@ impl Serialize for Response {
             ),
             Response::Status(status) => {
                 let Value::Object(fields) = status.to_value() else {
+                    // repolint: allow(panic) — serialize-side: to_value on the line above always builds an object; no input reaches here
                     unreachable!("DaemonStatus serializes as an object");
                 };
                 obj("status", fields)
@@ -443,7 +447,8 @@ impl From<io::Error> for ProtocolError {
 
 /// Write one message as a frame (length word + compact JSON payload).
 pub fn write_msg<T: Serialize>(w: &mut impl Write, msg: &T) -> io::Result<()> {
-    let payload = serde_json::to_string(msg).expect("protocol messages always serialize");
+    let payload = serde_json::to_string(msg)
+        .map_err(|e| io::Error::other(format!("unserializable protocol message: {e}")))?;
     debug_assert!(payload.len() <= MAX_FRAME_BYTES as usize);
     w.write_all(&(payload.len() as u32).to_be_bytes())?;
     w.write_all(payload.as_bytes())?;
@@ -485,6 +490,7 @@ enum ReadOutcome {
 fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
     let mut filled = 0;
     while filled < buf.len() {
+        // repolint: allow(panic) — filled < buf.len() is the loop condition
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
                 return Ok(if filled == 0 {

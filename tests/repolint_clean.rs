@@ -1,0 +1,44 @@
+//! Tier-1 gate: the tree must pass `repolint --deny` with zero findings.
+//!
+//! This is the same pass CI runs as its "Static analysis" step, wired
+//! into `cargo test` so a violation fails locally before it fails in CI.
+//! Every suppression in the tree is a `// repolint: allow(<rule>) — why`
+//! pragma with a written reason; anything unexplained fails here.
+
+use repolint::config::Config;
+use repolint::workspace::Workspace;
+use repolint::Options;
+use std::path::Path;
+
+#[test]
+fn repository_passes_repolint_deny() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let ws = Workspace::load(root).expect("workspace should load");
+    let cfg_text = std::fs::read_to_string(root.join("repolint.toml"))
+        .expect("repolint.toml should exist at the workspace root");
+    let cfg = Config::parse(&cfg_text).expect("repolint.toml should parse");
+
+    let report = repolint::run(&ws, &cfg, Options { deny: true });
+
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously small scan — walker broke?"
+    );
+    assert!(
+        report.findings.is_empty(),
+        "repolint --deny found violations:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Every suppression carries a reason by construction; make the count
+    // visible in test output so large jumps get noticed in review.
+    println!(
+        "repolint: {} files scanned, {} pragma-allowed findings",
+        report.files_scanned,
+        report.suppressed.len()
+    );
+}
